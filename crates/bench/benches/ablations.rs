@@ -1,0 +1,216 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Bor-AL vs Bor-ALM — allocation policy only (the §2.2 memory-management
+//!   claim);
+//! * MST-BC with/without the random vertex permutation and with/without
+//!   work stealing (§4's progress and load-balance mechanisms);
+//! * sample-sort oversampling ratio (the Bor-EL compact knob);
+//! * insertion-sort threshold of the two-level sort (the paper chose
+//!   insertion sort for lists of ~1–100 elements).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig};
+use msf_graph::generators::{random_graph, GeneratorConfig};
+use msf_primitives::sort::{
+    insertion_sort_by, merge_sort_by, sample_sort_by_key, SampleSortConfig,
+};
+
+fn bench_alloc_policy(c: &mut Criterion) {
+    let g = random_graph(&GeneratorConfig::with_seed(2026), 20_000, 120_000);
+    let mut group = c.benchmark_group("ablation_alloc_policy");
+    group.sample_size(10);
+    for algo in [Algorithm::BorAl, Algorithm::BorAlm] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &g, |b, g| {
+            b.iter(|| minimum_spanning_forest(g, algo, &MsfConfig::with_threads(8)).total_weight)
+        });
+    }
+    group.finish();
+}
+
+fn bench_mstbc_flags(c: &mut Criterion) {
+    let g = random_graph(&GeneratorConfig::with_seed(2026), 20_000, 120_000);
+    let mut group = c.benchmark_group("ablation_mstbc");
+    group.sample_size(10);
+    for (label, shuffle, stealing) in [
+        ("shuffle+steal", true, true),
+        ("shuffle-only", true, false),
+        ("steal-only", false, true),
+        ("neither", false, false),
+    ] {
+        let cfg = MsfConfig {
+            shuffle,
+            work_stealing: stealing,
+            ..MsfConfig::with_threads(8)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| minimum_spanning_forest(g, Algorithm::MstBc, &cfg).total_weight)
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_sort_oversample(c: &mut Criterion) {
+    let data: Vec<u64> = (0..400_000u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+        .collect();
+    let mut group = c.benchmark_group("ablation_sample_sort");
+    group.sample_size(10);
+    for oversample in [4usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("oversample={oversample}")),
+            &data,
+            |b, data| {
+                let cfg = SampleSortConfig {
+                    buckets: 8,
+                    oversample,
+                    seq_threshold: 1 << 12,
+                };
+                b.iter(|| sample_sort_by_key(data.clone(), |&x| x, cfg).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sort_kernels(c: &mut Criterion) {
+    // The three ways this suite can sort an edge-scale array: comparison
+    // sample sort (Bor-EL's kernel), parallel merge sort (perfect balance,
+    // serializing final merges), and LSD radix (comparison-free, integer
+    // keys only).
+    use msf_primitives::sort::{par_merge_sort_by_key, radix_sort_by_key};
+    let data: Vec<u64> = (0..400_000u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+        .collect();
+    let mut group = c.benchmark_group("ablation_sort_kernels");
+    group.sample_size(10);
+    group.bench_function("sample_sort", |b| {
+        b.iter(|| sample_sort_by_key(data.clone(), |&x| x, SampleSortConfig::default()).len())
+    });
+    group.bench_function("par_merge_sort", |b| {
+        b.iter(|| par_merge_sort_by_key(data.clone(), |&x| x, 8).len())
+    });
+    group.bench_function("radix_sort", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            radix_sort_by_key(&mut d, |&x| x);
+            d.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sort_threshold(c: &mut Criterion) {
+    // Many short lists, the compact-graph workload profile the paper cites
+    // (80% of lists hold 1-100 elements on a 1M/6M random graph).
+    let lists: Vec<Vec<u64>> = (0..4_000)
+        .map(|i| {
+            let len = 1 + (i * 2654435761u64 as usize) % 64;
+            (0..len as u64)
+                .map(|j| (j ^ i as u64).wrapping_mul(0x9e3779b9))
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_sort_threshold");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("insertion"), &lists, |b, ls| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for l in ls {
+                let mut l = l.clone();
+                insertion_sort_by(&mut l, |a, b| a < b);
+                total = total.wrapping_add(l[0]);
+            }
+            total
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("merge"), &lists, |b, ls| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for l in ls {
+                let mut l = l.clone();
+                merge_sort_by(&mut l, |a, b| a < b);
+                total = total.wrapping_add(l[0]);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alloc_policy,
+    bench_mstbc_flags,
+    bench_sample_sort_oversample,
+    bench_sort_kernels,
+    bench_sort_threshold,
+    bench_filter_frontend,
+    bench_compact_kernel,
+    bench_dense_vs_sparse
+);
+fn bench_filter_frontend(c: &mut Criterion) {
+    // §3's suggested optimization: the filter pays in front of Bor-AL on
+    // dense inputs, never in front of Bor-FAL (see EXPERIMENTS.md).
+    let g = random_graph(&GeneratorConfig::with_seed(2026), 10_000, 200_000);
+    let mut group = c.benchmark_group("ablation_filter_frontend");
+    group.sample_size(10);
+    let cfg = MsfConfig::with_threads(8);
+    for (label, algo) in [("Bor-AL", Algorithm::BorAl), ("Bor-FAL", Algorithm::BorFal)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| minimum_spanning_forest(g, algo, &cfg).total_weight)
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("filter->{label}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    msf_core::par::filter::msf_with_inner(g, &cfg, algo).total_weight
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compact_kernel(c: &mut Criterion) {
+    // Bor-EL's compact step: comparison sample sort vs comparison-free
+    // radix grouping over packed endpoint pairs.
+    let g = random_graph(&GeneratorConfig::with_seed(2026), 20_000, 200_000);
+    let mut group = c.benchmark_group("ablation_compact");
+    group.sample_size(10);
+    for (label, radix) in [("sample-sort", false), ("radix", true)] {
+        let cfg = MsfConfig {
+            radix_compact: radix,
+            ..MsfConfig::with_threads(8)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| minimum_spanning_forest(g, Algorithm::BorEl, &cfg).total_weight)
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_vs_sparse(c: &mut Criterion) {
+    // Where the adjacency-matrix Borůvka crosses over: fine at high density
+    // on few vertices, hopeless on sparse inputs (the paper's §1.1 point
+    // about the Dehne–Götz approach).
+    let mut group = c.benchmark_group("ablation_dense_vs_sparse");
+    group.sample_size(10);
+    for (label, n, m) in [("dense-1k-100k", 1_000usize, 100_000usize), ("sparse-5k-20k", 5_000, 20_000)] {
+        let g = random_graph(&GeneratorConfig::with_seed(2026), n, m);
+        for algo in [Algorithm::BorDense, Algorithm::BorAl] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), label),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        minimum_spanning_forest(g, algo, &MsfConfig::with_threads(8)).total_weight
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 2 — end-to-end time of the four Borůvka variants on random graphs
+//! with m = 4n, 6n, 10n; the per-step breakdown itself comes from
+//! `repro fig2`. The paper's claims checked here: Bor-AL beats Bor-EL, and
+//! Bor-FAL beats both (its compact step is pointer surgery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig};
+use msf_graph::generators::{random_graph, GeneratorConfig};
+
+fn bench_fig2(c: &mut Criterion) {
+    let n = 20_000usize;
+    let mut group = c.benchmark_group("fig2_step_breakdown");
+    group.sample_size(10);
+    for density in [4usize, 6, 10] {
+        let g = random_graph(&GeneratorConfig::with_seed(2026), n, density * n);
+        for algo in [
+            Algorithm::BorEl,
+            Algorithm::BorAl,
+            Algorithm::BorAlm,
+            Algorithm::BorFal,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("m={density}n")),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        minimum_spanning_forest(g, algo, &MsfConfig::with_threads(8)).total_weight
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 3 — the three sequential baselines across input classes. The
+//! paper's point: the ranking flips with graph class and weight structure
+//! (Prim can be 3× faster than Kruskal on some inputs, Kruskal wins on the
+//! degenerate trees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msf_bench::{fig3_inputs, Scale};
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_sequential_ranking");
+    group.sample_size(10);
+    let cfg = MsfConfig::default();
+    for (name, g) in fig3_inputs(Scale::Smoke, 2026) {
+        for algo in [Algorithm::Prim, Algorithm::Kruskal, Algorithm::Boruvka] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), &name), &g, |b, g| {
+                b.iter(|| minimum_spanning_forest(g, algo, &cfg).total_weight)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 4 — the five parallel algorithms on random graphs at the paper's
+//! four densities (4n, 6n, 10n, 20n edges), at p = 1 and p = 8 logical
+//! processors. The scaled speedup curves come from `repro fig4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig};
+use msf_graph::generators::{random_graph, GeneratorConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let n = 20_000usize;
+    let mut group = c.benchmark_group("fig4_random");
+    group.sample_size(10);
+    for density in [4usize, 20] {
+        let g = random_graph(&GeneratorConfig::with_seed(2026), n, density * n);
+        for algo in Algorithm::PARALLEL {
+            for p in [1usize, 8] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/p={p}", algo.name()), format!("m={density}n")),
+                    &g,
+                    |b, g| {
+                        b.iter(|| {
+                            minimum_spanning_forest(g, algo, &MsfConfig::with_threads(p))
+                                .total_weight
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 5 — the parallel algorithms on the regular and irregular meshes
+//! (mesh, geometric k=6, 2D60, 3D40). The paper's winner here is Bor-ALM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msf_bench::{fig5_inputs, Scale};
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_meshes");
+    group.sample_size(10);
+    for (name, g) in fig5_inputs(Scale::Smoke, 2026) {
+        for algo in Algorithm::PARALLEL {
+            group.bench_with_input(BenchmarkId::new(algo.name(), &name), &g, |b, g| {
+                b.iter(|| {
+                    minimum_spanning_forest(g, algo, &MsfConfig::with_threads(8)).total_weight
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 6 — the structured worst cases str0..str3, where the paper finds
+//! only MST-BC competitive with the sequential algorithms. The sequential
+//! Kruskal is benchmarked alongside as the reference line.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msf_bench::{fig6_inputs, Scale};
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_structured");
+    group.sample_size(10);
+    for (name, g) in fig6_inputs(Scale::Smoke, 2026) {
+        group.bench_with_input(BenchmarkId::new("Kruskal-seq", &name), &g, |b, g| {
+            b.iter(|| {
+                minimum_spanning_forest(g, Algorithm::Kruskal, &MsfConfig::default()).total_weight
+            })
+        });
+        for algo in Algorithm::PARALLEL {
+            group.bench_with_input(BenchmarkId::new(algo.name(), &name), &g, |b, g| {
+                b.iter(|| {
+                    minimum_spanning_forest(g, algo, &MsfConfig::with_threads(8)).total_weight
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the substrate kernels the algorithms are built from:
+//! sample sort, pointer-jumping components, Shiloach–Vishkin components,
+//! prefix sums, the indexed heap, and the parallel permutation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msf_primitives::connectivity::{pointer_jump, sv};
+use msf_primitives::heap::IndexedHeap;
+use msf_primitives::permutation::parallel_permutation;
+use msf_primitives::prefix::par_exclusive_scan;
+use msf_primitives::sort::{sample_sort_by_key, SampleSortConfig};
+use rand::prelude::*;
+
+fn bench_sample_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim_sample_sort");
+    group.sample_size(10);
+    for size in [100_000usize, 400_000] {
+        let data: Vec<u64> = (0..size as u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| {
+                sample_sort_by_key(data.clone(), |&x| x, SampleSortConfig::default()).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut rng = StdRng::seed_from_u64(9);
+    let edges: Vec<(u32, u32)> = (0..3 * n)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    let mut group = c.benchmark_group("prim_connectivity");
+    group.sample_size(10);
+    group.bench_function("shiloach_vishkin", |b| {
+        b.iter(|| sv::connected_components(n, &edges)[0])
+    });
+    // Pointer jumping on a pseudo-forest of long chains.
+    let parent: Vec<u32> = (0..n)
+        .map(|v| if v % 1000 == 0 { v as u32 + 1 } else { v as u32 - 1 })
+        .collect();
+    group.bench_function("pointer_jump", |b| {
+        b.iter(|| {
+            let mut p = parent.clone();
+            pointer_jump::resolve_pseudo_forest(&mut p);
+            p[0]
+        })
+    });
+    group.finish();
+}
+
+fn bench_prefix_and_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim_scan_perm");
+    group.sample_size(10);
+    let data: Vec<usize> = (0..1_000_000).map(|i| i % 7).collect();
+    group.bench_function("par_exclusive_scan_1M", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            par_exclusive_scan(&mut d, 8)
+        })
+    });
+    group.bench_function("parallel_permutation_1M", |b| {
+        b.iter(|| parallel_permutation(1_000_000, 8, 42)[0])
+    });
+    group.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut rng = StdRng::seed_from_u64(4);
+    let keys: Vec<f64> = (0..4 * n).map(|_| rng.gen()).collect();
+    let ids: Vec<u32> = (0..4 * n).map(|_| rng.gen_range(0..n as u32)).collect();
+    let mut group = c.benchmark_group("prim_heap");
+    group.sample_size(10);
+    group.bench_function("upsert_drain_400k", |b| {
+        b.iter(|| {
+            let mut h: IndexedHeap<f64> = IndexedHeap::new(n);
+            for (k, id) in keys.iter().zip(&ids) {
+                h.insert_or_decrease(*id, *k);
+            }
+            let mut sum = 0.0;
+            while let Some((k, _)) = h.extract_min() {
+                sum += k;
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sample_sort,
+    bench_connectivity,
+    bench_prefix_and_permutation,
+    bench_heap
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 1 — the Bor-EL iteration structure on the two random graphs whose
+//! edge-decay the paper tabulates (G1: m/n = 6, G2: m/n = 3). Criterion
+//! times the full Bor-EL run that produces the trace; run
+//! `repro table1` for the table itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig};
+use msf_graph::generators::{random_graph, GeneratorConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_edge_decay");
+    group.sample_size(10);
+    for (tag, n, density) in [("G1", 20_000usize, 6usize), ("G2", 2_000, 3)] {
+        let g = random_graph(&GeneratorConfig::with_seed(2026), n, density * n);
+        group.bench_with_input(BenchmarkId::new("Bor-EL", tag), &g, |b, g| {
+            b.iter(|| {
+                let r = minimum_spanning_forest(g, Algorithm::BorEl, &MsfConfig::with_threads(8));
+                assert!(!r.stats.iterations.is_empty());
+                r.total_weight
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! `msf` — command-line minimum spanning forest solver.
+//!
+//! ```sh
+//! msf compute <graph.gr> [--algo bor-fal] [--threads 8] [--verify] [--out forest.txt]
+//! msf generate <kind> [params…] --out graph.gr [--weights uniform|small-int|exponential|bimodal]
+//! msf info <graph.gr>
+//! ```
+//!
+//! Graphs are DIMACS-style (`p sp n m` + `a u v w` lines, 1-indexed). The
+//! forest output lists one selected input edge per line as `u v w`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use msf_core::{minimum_spanning_forest, verify, Algorithm, MsfConfig};
+use msf_graph::generators::{
+    assign_weights, geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph,
+    structured, GeneratorConfig, StructuredKind, WeightScheme,
+};
+use msf_graph::{io, EdgeList};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         msf compute <graph.gr> [--algo NAME] [--threads P] [--verify] [--out FILE]\n  \
+         msf generate <random n m | mesh side | 2d60 side | 3d40 side | geometric n k | str0..str3 n>\n      \
+         [--seed S] [--weights uniform|small-int|exponential|bimodal] --out FILE\n  \
+         msf info <graph.gr>\n\n\
+         algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc"
+    );
+    std::process::exit(2);
+}
+
+fn parse_algo(s: &str) -> Option<Algorithm> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "prim" => Algorithm::Prim,
+        "kruskal" => Algorithm::Kruskal,
+        "boruvka" => Algorithm::Boruvka,
+        "bor-el" => Algorithm::BorEl,
+        "bor-al" => Algorithm::BorAl,
+        "bor-alm" => Algorithm::BorAlm,
+        "bor-fal" => Algorithm::BorFal,
+        "bor-fal-filter" => Algorithm::BorFalFilter,
+        "bor-dense" => Algorithm::BorDense,
+        "mst-bc" => Algorithm::MstBc,
+        _ => return None,
+    })
+}
+
+fn load(path: &str) -> EdgeList {
+    let file = File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    io::read_dimacs(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compute") => compute(&args[1..]),
+        Some("generate") => generate(&args[1..]),
+        Some("info") => info(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn compute(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let mut algo = Algorithm::BorFal;
+    let mut threads = rayon::current_num_threads().max(1);
+    let mut do_verify = false;
+    let mut out_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algo" => {
+                i += 1;
+                algo = args
+                    .get(i)
+                    .and_then(|s| parse_algo(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--verify" => do_verify = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let g = load(path);
+    let result = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(threads));
+    eprintln!(
+        "{algo}: {} vertices, {} edges -> {} forest edges, weight {:.6}, {} trees, {:.3}s",
+        g.num_vertices(),
+        g.num_edges(),
+        result.edges.len(),
+        result.total_weight,
+        result.components,
+        result.stats.total_seconds
+    );
+    if do_verify {
+        verify::verify_msf(&g, &result).unwrap_or_else(|e| {
+            eprintln!("VERIFICATION FAILED: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("verified against the unique MSF ✓");
+    }
+    if let Some(out_path) = out_path {
+        let mut out = BufWriter::new(File::create(&out_path).expect("create output"));
+        for &id in &result.edges {
+            let e = g.edge(id);
+            writeln!(out, "{} {} {}", e.u + 1, e.v + 1, e.w).expect("write edge");
+        }
+        eprintln!("forest written to {out_path}");
+    }
+}
+
+fn generate(args: &[String]) {
+    let mut seed = 2026u64;
+    let mut weights: Option<WeightScheme> = None;
+    let mut out_path: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--weights" => {
+                i += 1;
+                weights = Some(match args.get(i).map(String::as_str) {
+                    Some("uniform") => WeightScheme::Uniform,
+                    Some("small-int") => WeightScheme::SmallIntegers { range: 16 },
+                    Some("exponential") => WeightScheme::Exponential,
+                    Some("bimodal") => WeightScheme::Bimodal,
+                    _ => usage(),
+                });
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            s => positional.push(s),
+        }
+        i += 1;
+    }
+    let cfg = GeneratorConfig::with_seed(seed);
+    let num = |idx: usize| -> usize {
+        positional
+            .get(idx)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    let g = match positional.first().copied() {
+        Some("random") => random_graph(&cfg, num(1), num(2)),
+        Some("mesh") => mesh2d(&cfg, num(1), num(1)),
+        Some("2d60") => mesh2d_random(&cfg, num(1), num(1), 0.6),
+        Some("3d40") => mesh3d_random(&cfg, num(1), num(1), num(1), 0.4),
+        Some("geometric") => geometric_knn(&cfg, num(1), num(2)),
+        Some(s @ ("str0" | "str1" | "str2" | "str3")) => {
+            let kind = match s {
+                "str0" => StructuredKind::Str0,
+                "str1" => StructuredKind::Str1,
+                "str2" => StructuredKind::Str2,
+                _ => StructuredKind::Str3,
+            };
+            structured(&cfg, kind, num(1))
+        }
+        _ => usage(),
+    };
+    let g = match weights {
+        Some(scheme) => assign_weights(&g, scheme, seed),
+        None => g,
+    };
+    let out_path = out_path.unwrap_or_else(|| usage());
+    let out = BufWriter::new(File::create(&out_path).expect("create output"));
+    io::write_dimacs(&g, out).expect("write graph");
+    eprintln!(
+        "wrote {}: {} vertices, {} edges",
+        out_path,
+        g.num_vertices(),
+        g.num_edges()
+    );
+}
+
+fn info(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let g = load(path);
+    println!("file:        {path}");
+    println!("vertices:    {}", g.num_vertices());
+    println!("edges:       {}", g.num_edges());
+    println!("density m/n: {:.2}", g.density());
+    println!(
+        "components:  {}",
+        msf_graph::validate::component_count(&g)
+    );
+    println!(
+        "simple:      {}",
+        match msf_graph::validate::check_simple(&g) {
+            Ok(()) => "yes".to_string(),
+            Err(e) => format!("no ({e})"),
+        }
+    );
+}

@@ -1,0 +1,348 @@
+//! `repro` — regenerate every table and figure of Bader & Cong's evaluation.
+//!
+//! ```sh
+//! repro table1 [--scale paper|default|smoke]
+//! repro fig2 | fig3 | fig4 | fig5 | fig6
+//! repro all
+//! ```
+//!
+//! Output is plain text shaped like the paper's tables; EXPERIMENTS.md
+//! captures a run of `repro all` and compares it row-by-row with the paper.
+
+use msf_bench::{
+    fig3_inputs, fig4_inputs, fig5_inputs, fig6_inputs, print_row, run, sweep, Measurement,
+    Scale, PROC_SWEEP,
+};
+use msf_core::{minimum_spanning_forest, verify, Algorithm, MsfConfig};
+use msf_graph::generators::{random_graph, GeneratorConfig};
+
+const SEED: u64 = 2026;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut what: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage());
+            }
+            w => what.push(w),
+        }
+        i += 1;
+    }
+    if what.is_empty() {
+        usage();
+    }
+    for w in what {
+        match w {
+            "table1" => table1(scale),
+            "fig2" => fig2(scale),
+            "fig3" => { fig3(scale); fig3_weights(scale); }
+            "fig4" => figure_sweep("Figure 4 — random graphs", fig4_inputs(scale, SEED)),
+            "fig5" => figure_sweep("Figure 5 — meshes & geometric", fig5_inputs(scale, SEED)),
+            "fig6" => figure_sweep("Figure 6 — structured graphs", fig6_inputs(scale, SEED)),
+            "ext" => ext_filter(scale),
+            "mstbc" => mstbc_behavior(scale),
+            "all" => {
+                table1(scale);
+                fig2(scale);
+                fig3(scale);
+                fig3_weights(scale);
+                figure_sweep("Figure 4 — random graphs", fig4_inputs(scale, SEED));
+                figure_sweep("Figure 5 — meshes & geometric", fig5_inputs(scale, SEED));
+                figure_sweep("Figure 6 — structured graphs", fig6_inputs(scale, SEED));
+                ext_filter(scale);
+                mstbc_behavior(scale);
+            }
+            _ => usage(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--scale paper|default|smoke] <table1|fig2|fig3|fig4|fig5|fig6|all>…");
+    std::process::exit(2);
+}
+
+/// Table 1: rate of decrease of the edge list across Bor-EL iterations for
+/// two random graphs (paper: G1 = 1M vertices / m/n = 6, G2 = 10K / m/n = 3).
+fn table1(scale: Scale) {
+    let n1 = scale.n();
+    let n2 = (scale.n() / 100).max(100);
+    for (tag, n, d) in [("G1", n1, 6usize), ("G2", n2, 3usize)] {
+        let g = random_graph(&GeneratorConfig::with_seed(SEED), n, d * n);
+        let m = run(&g, Algorithm::BorEl, 8);
+        println!("\n== Table 1 ({tag}): random n={n}, m={} ==", d * n);
+        let widths = [9usize, 12, 12, 8, 8];
+        print_row(
+            &["iteration", "2m", "decrease", "% dec.", "m/n"].map(String::from),
+            &widths,
+        );
+        for row in m.result.stats.edge_decay_table() {
+            print_row(
+                &[
+                    row.iteration.to_string(),
+                    row.directed_edges.to_string(),
+                    row.decrease.map_or("N/A".into(), |d| d.to_string()),
+                    row.percent_decrease
+                        .map_or("N/A".into(), |p| format!("{p:.1}%")),
+                    format!("{:.1}", row.density),
+                ],
+                &widths,
+            );
+        }
+    }
+}
+
+/// Fig. 2: per-step running-time breakdown of the four Borůvka variants on
+/// random graphs with m = 4n, 6n, 10n.
+fn fig2(scale: Scale) {
+    let n = scale.n();
+    println!("\n== Figure 2 — step breakdown (seconds, p=8 logical) ==");
+    let widths = [16usize, 9, 10, 10, 10, 10];
+    print_row(
+        &["input", "algo", "find-min", "connect", "compact", "total"].map(String::from),
+        &widths,
+    );
+    for d in [4usize, 6, 10] {
+        let g = random_graph(&GeneratorConfig::with_seed(SEED), n, d * n);
+        for algo in [
+            Algorithm::BorEl,
+            Algorithm::BorAl,
+            Algorithm::BorAlm,
+            Algorithm::BorFal,
+        ] {
+            let m = run(&g, algo, 8);
+            let (fm, cc, cg) = m.result.stats.step_totals();
+            print_row(
+                &[
+                    format!("random m={d}n"),
+                    algo.name().to_string(),
+                    format!("{:.3}", fm.seconds),
+                    format!("{:.3}", cc.seconds),
+                    format!("{:.3}", cg.seconds),
+                    format!("{:.3}", m.wall_seconds),
+                ],
+                &widths,
+            );
+        }
+    }
+}
+
+/// Fig. 3: performance ranking of the three sequential algorithms per class.
+fn fig3(scale: Scale) {
+    println!("\n== Figure 3 — sequential algorithm ranking ==");
+    let widths = [18usize, 10, 10, 10, 28];
+    print_row(
+        &["input", "Prim", "Kruskal", "Boruvka", "ranking"].map(String::from),
+        &widths,
+    );
+    for (name, g) in fig3_inputs(scale, SEED) {
+        let cfg = MsfConfig::default();
+        let mut times: Vec<(Algorithm, f64)> =
+            [Algorithm::Prim, Algorithm::Kruskal, Algorithm::Boruvka]
+                .into_iter()
+                .map(|a| {
+                    (
+                        a,
+                        minimum_spanning_forest(&g, a, &cfg).stats.total_seconds,
+                    )
+                })
+                .collect();
+        let row_times: Vec<String> = times.iter().map(|&(_, t)| format!("{t:.3}")).collect();
+        times.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let ranking = times
+            .iter()
+            .map(|&(a, _)| a.name())
+            .collect::<Vec<_>>()
+            .join(" < ");
+        print_row(
+            &[
+                name,
+                row_times[0].clone(),
+                row_times[1].clone(),
+                row_times[2].clone(),
+                ranking,
+            ],
+            &widths,
+        );
+    }
+}
+
+/// Fig. 3, second axis: the same topology under different weight
+/// assignments — "Different assignment of edge weights is also important"
+/// for the sequential ranking (§5.2).
+fn fig3_weights(scale: Scale) {
+    use msf_graph::generators::{assign_weights, WeightScheme};
+    let n = scale.n();
+    println!("\n== Figure 3 (weight-assignment axis) — random m=6n ==");
+    let widths = [14usize, 10, 10, 10, 28];
+    print_row(
+        &["weights", "Prim", "Kruskal", "Boruvka", "ranking"].map(String::from),
+        &widths,
+    );
+    let base = random_graph(&GeneratorConfig::with_seed(SEED), n, 6 * n);
+    for scheme in [
+        WeightScheme::Uniform,
+        WeightScheme::SmallIntegers { range: 8 },
+        WeightScheme::Exponential,
+        WeightScheme::Bimodal,
+    ] {
+        let g = assign_weights(&base, scheme, SEED);
+        let cfg = MsfConfig::default();
+        let mut times: Vec<(Algorithm, f64)> =
+            [Algorithm::Prim, Algorithm::Kruskal, Algorithm::Boruvka]
+                .into_iter()
+                .map(|a| (a, minimum_spanning_forest(&g, a, &cfg).stats.total_seconds))
+                .collect();
+        let row_times: Vec<String> = times.iter().map(|&(_, t)| format!("{t:.3}")).collect();
+        times.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let ranking = times
+            .iter()
+            .map(|&(a, _)| a.name())
+            .collect::<Vec<_>>()
+            .join(" < ");
+        print_row(
+            &[
+                scheme.name().to_string(),
+                row_times[0].clone(),
+                row_times[1].clone(),
+                row_times[2].clone(),
+                ranking,
+            ],
+            &widths,
+        );
+    }
+}
+
+/// Figs. 4–6: every parallel algorithm vs p, with the best-sequential line.
+fn figure_sweep(title: &str, inputs: Vec<(String, msf_graph::EdgeList)>) {
+    println!("\n== {title} ==");
+    for (name, g) in inputs {
+        let (best_algo, best) = msf_core::best_sequential(&g);
+        println!(
+            "\n-- {name}: best sequential = {best_algo} at {:.3}s --",
+            best.stats.total_seconds
+        );
+        let mut widths = vec![9usize];
+        widths.extend(std::iter::repeat_n(12, PROC_SWEEP.len()));
+        widths.push(9);
+        let mut header = vec!["algo".to_string()];
+        header.extend(PROC_SWEEP.iter().map(|p| format!("est p={p} [s]")));
+        header.push("speedup".into());
+        print_row(&header, &widths);
+        for algo in Algorithm::PARALLEL {
+            let series = sweep(&g, algo);
+            verify_one(&g, &series[0].0);
+            let mut cells = vec![algo.name().to_string()];
+            cells.extend(series.iter().map(|(_, est)| format!("{est:.3}")));
+            let best_est = series
+                .iter()
+                .map(|&(_, est)| est)
+                .fold(f64::INFINITY, f64::min);
+            cells.push(format!("{:.2}x", best.stats.total_seconds / best_est));
+            print_row(&cells, &widths);
+        }
+    }
+}
+
+/// Extension experiment (§3 discussion): sampling + cycle-property edge
+/// filtering in front of Bor-FAL vs plain Bor-FAL, on random graphs of
+/// rising density — where Table 1 shows most edges are not in the MSF and
+/// shrink only slowly under plain Borůvka.
+fn ext_filter(scale: Scale) {
+    let n = scale.n();
+    println!("\n== Extension — cycle-property edge filtering (paper §3) ==");
+    let widths = [14usize, 16, 12, 12, 9];
+    print_row(
+        &["input", "algo", "wall [s]", "modeled", "vs FAL"].map(String::from),
+        &widths,
+    );
+    let cfg8 = MsfConfig::with_threads(8);
+    for d in [4usize, 10, 20] {
+        let g = random_graph(&GeneratorConfig::with_seed(SEED), n, d * n);
+        let fal = run(&g, Algorithm::BorFal, 8);
+        verify_one(&g, &fal);
+        let fal_filt = run(&g, Algorithm::BorFalFilter, 8);
+        verify_one(&g, &fal_filt);
+        let al = run(&g, Algorithm::BorAl, 8);
+        let al_filt = msf_core::par::filter::msf_with_inner(&g, &cfg8, Algorithm::BorAl);
+        assert_eq!(fal.result.edges, fal_filt.result.edges);
+        assert_eq!(fal.result.edges, al_filt.edges);
+        let rows: [(&str, f64, u64); 4] = [
+            ("Bor-FAL", fal.wall_seconds, fal.modeled_cost),
+            ("filter→FAL", fal_filt.wall_seconds, fal_filt.modeled_cost),
+            ("Bor-AL", al.wall_seconds, al.modeled_cost),
+            ("filter→AL", al_filt.stats.total_seconds, al_filt.stats.modeled_cost),
+        ];
+        for (name, wall, modeled) in rows {
+            print_row(
+                &[
+                    format!("random m={d}n"),
+                    name.to_string(),
+                    format!("{wall:.3}"),
+                    modeled.to_string(),
+                    format!("{:.2}x", fal.modeled_cost as f64 / modeled as f64),
+                ],
+                &widths,
+            );
+        }
+    }
+}
+
+/// MST-BC behavioral counters vs p — the §4 narrative made visible: how
+/// many Prim trees grow, how much of the graph they cover before the
+/// Borůvka fallback takes over, and how often collisions/maturity/steals
+/// fire as workers are added.
+fn mstbc_behavior(scale: Scale) {
+    let n = scale.n();
+    println!("\n== MST-BC behavior vs p (random n={n}, m=6n) ==");
+    let widths = [4usize, 8, 10, 12, 12, 10, 8];
+    let side = (n as f64).sqrt().round() as usize;
+    let inputs = [
+        (
+            "random m=6n".to_string(),
+            random_graph(&GeneratorConfig::with_seed(SEED), n, 6 * n),
+        ),
+        (
+            format!("mesh {side}x{side}"),
+            msf_graph::generators::mesh2d(&GeneratorConfig::with_seed(SEED), side, side),
+        ),
+    ];
+    for (name, g) in inputs {
+        println!("-- {name} --");
+        print_row(
+            &["p", "trees", "visited", "collisions", "matured", "steals", "rounds"]
+                .map(String::from),
+            &widths,
+        );
+        for p in PROC_SWEEP {
+            let m = run(&g, Algorithm::MstBc, p);
+            verify_one(&g, &m);
+            let st = m.result.stats.mstbc.expect("counters populated");
+            print_row(
+                &[
+                    p.to_string(),
+                    st.trees.to_string(),
+                    st.visited.to_string(),
+                    st.collisions.to_string(),
+                    st.matured.to_string(),
+                    st.steals.to_string(),
+                    m.result.stats.iterations.len().to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+}
+
+fn verify_one(g: &msf_graph::EdgeList, m: &Measurement) {
+    verify::verify_msf(g, &m.result)
+        .unwrap_or_else(|e| panic!("{} produced a wrong forest: {e}", m.algorithm));
+}

@@ -1,0 +1,213 @@
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation (§5). The `repro` binary prints them; the Criterion benches
+//! under `benches/` time the same kernels.
+//!
+//! ## Reading the speedup numbers on this host
+//!
+//! The paper measured wall-clock on a 14-processor Sun E4500. On hosts with
+//! fewer physical cores the harness reports, for every parallel run, an
+//! **estimated parallel time**: the measured 1-thread wall time scaled by
+//! the deterministic modeled-cost ratio `modeled(p) / modeled(1)` (see
+//! `msf_primitives::cost`). On a machine with ≥ p real cores the wall-clock
+//! column itself shows the same behaviour. EXPERIMENTS.md records both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig, MsfResult};
+use msf_graph::generators::{
+    geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured,
+    GeneratorConfig, StructuredKind,
+};
+use msf_graph::EdgeList;
+
+/// Processor counts swept in the figure reproductions (the paper sweeps
+/// 1–8+ on its plots).
+pub const PROC_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Scale of the experiment suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// n = 1M vertices, exactly the paper's sizes. Needs a few GB of RAM
+    /// and tens of minutes end-to-end on one core.
+    Paper,
+    /// n = 100K vertices: same densities and shapes, laptop-friendly.
+    Default,
+    /// n = 10K: smoke-test sizes for CI.
+    Smoke,
+}
+
+impl Scale {
+    /// Vertex count this scale assigns to the paper's "1M" graphs.
+    pub fn n(self) -> usize {
+        match self {
+            Scale::Paper => 1_000_000,
+            Scale::Default => 100_000,
+            Scale::Smoke => 10_000,
+        }
+    }
+
+    /// Parse from a CLI word.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" => Some(Scale::Paper),
+            "default" => Some(Scale::Default),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+}
+
+/// One timed run of one algorithm at one processor count.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Logical processor count.
+    pub threads: usize,
+    /// Measured wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Modeled parallel cost at this p.
+    pub modeled_cost: u64,
+    /// The full result (for verification and step breakdowns).
+    pub result: MsfResult,
+}
+
+/// Run `algorithm` on `g` with `p` logical processors.
+pub fn run(g: &EdgeList, algorithm: Algorithm, p: usize) -> Measurement {
+    let cfg = MsfConfig::with_threads(p);
+    let result = minimum_spanning_forest(g, algorithm, &cfg);
+    Measurement {
+        algorithm,
+        threads: p,
+        wall_seconds: result.stats.total_seconds,
+        modeled_cost: result.stats.modeled_cost,
+        result,
+    }
+}
+
+/// Sweep one algorithm over [`PROC_SWEEP`] and convert modeled costs into
+/// estimated seconds anchored at the measured 1-thread wall time:
+/// `est(p) = wall(1) · modeled(p) / modeled(1)`.
+pub fn sweep(g: &EdgeList, algorithm: Algorithm) -> Vec<(Measurement, f64)> {
+    let runs: Vec<Measurement> = PROC_SWEEP.iter().map(|&p| run(g, algorithm, p)).collect();
+    let wall1 = runs[0].wall_seconds;
+    let model1 = runs[0].modeled_cost.max(1) as f64;
+    runs.into_iter()
+        .map(|m| {
+            let est = wall1 * m.modeled_cost as f64 / model1;
+            (m, est)
+        })
+        .collect()
+}
+
+/// The named inputs of Fig. 4: random graphs at the paper's four densities.
+pub fn fig4_inputs(scale: Scale, seed: u64) -> Vec<(String, EdgeList)> {
+    let n = scale.n();
+    [4usize, 6, 10, 20]
+        .into_iter()
+        .map(|d| {
+            (
+                format!("random n={n} m={}n", d),
+                random_graph(&GeneratorConfig::with_seed(seed), n, d * n),
+            )
+        })
+        .collect()
+}
+
+/// The named inputs of Fig. 5: regular mesh, geometric k=6, 2D60, 3D40.
+pub fn fig5_inputs(scale: Scale, seed: u64) -> Vec<(String, EdgeList)> {
+    let n = scale.n();
+    let side = (n as f64).sqrt().round() as usize;
+    let side3 = (n as f64).cbrt().round() as usize;
+    let cfg = GeneratorConfig::with_seed(seed);
+    vec![
+        (format!("mesh {side}x{side}"), mesh2d(&cfg, side, side)),
+        (format!("geometric n={n} k=6"), geometric_knn(&cfg, n, 6)),
+        (format!("2D60 {side}x{side}"), mesh2d_random(&cfg, side, side, 0.6)),
+        (
+            format!("3D40 {side3}^3"),
+            mesh3d_random(&cfg, side3, side3, side3, 0.4),
+        ),
+    ]
+}
+
+/// The named inputs of Fig. 6: the structured worst cases.
+pub fn fig6_inputs(scale: Scale, seed: u64) -> Vec<(String, EdgeList)> {
+    let n = scale.n();
+    let cfg = GeneratorConfig::with_seed(seed);
+    [
+        ("str0", StructuredKind::Str0),
+        ("str1", StructuredKind::Str1),
+        ("str2", StructuredKind::Str2),
+        ("str3", StructuredKind::Str3),
+    ]
+    .into_iter()
+    .map(|(name, kind)| (format!("{name} n={n}"), structured(&cfg, kind, n)))
+    .collect()
+}
+
+/// The sequential-ranking input classes of Fig. 3.
+pub fn fig3_inputs(scale: Scale, seed: u64) -> Vec<(String, EdgeList)> {
+    let n = scale.n();
+    let side = (n as f64).sqrt().round() as usize;
+    let cfg = GeneratorConfig::with_seed(seed);
+    vec![
+        ("random m=2n".to_string(), random_graph(&cfg, n, 2 * n)),
+        ("random m=6n".to_string(), random_graph(&cfg, n, 6 * n)),
+        (format!("mesh {side}x{side}"), mesh2d(&cfg, side, side)),
+        ("geometric k=6".to_string(), geometric_knn(&cfg, n, 6)),
+        (
+            "str0".to_string(),
+            structured(&cfg, StructuredKind::Str0, n),
+        ),
+        (
+            "str3".to_string(),
+            structured(&cfg, StructuredKind::Str3, n),
+        ),
+    ]
+}
+
+/// Fixed-width text table helper.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::Smoke.n(), 10_000);
+    }
+
+    #[test]
+    fn sweep_anchors_estimates_at_one_thread() {
+        let g = random_graph(&GeneratorConfig::with_seed(1), 2_000, 8_000);
+        let s = sweep(&g, Algorithm::BorFal);
+        assert_eq!(s.len(), PROC_SWEEP.len());
+        let (m1, est1) = &s[0];
+        assert_eq!(m1.threads, 1);
+        assert!((est1 - m1.wall_seconds).abs() < 1e-12);
+        // Modeled cost must shrink as p grows (work splits).
+        assert!(s.last().unwrap().0.modeled_cost < s[0].0.modeled_cost);
+    }
+
+    #[test]
+    fn figure_input_sets_have_expected_shapes() {
+        let f4 = fig4_inputs(Scale::Smoke, 1);
+        assert_eq!(f4.len(), 4);
+        assert_eq!(f4[0].1.num_edges(), 4 * 10_000);
+        let f6 = fig6_inputs(Scale::Smoke, 1);
+        assert!(f6.iter().all(|(_, g)| g.num_edges() == g.num_vertices() - 1));
+    }
+}

@@ -1,0 +1,213 @@
+//! # msf-core
+//!
+//! The minimum-spanning-forest algorithms of Bader & Cong (IPPS 2004):
+//!
+//! | Algorithm | Paper § | Module |
+//! |---|---|---|
+//! | Prim (binary heap)            | 5.2 | [`seq::prim`] |
+//! | Kruskal (bottom-up merge sort)| 5.2 | [`seq::kruskal`] |
+//! | Borůvka (m log n, union-find) | 5.2 | [`seq::boruvka`] |
+//! | Bor-EL (edge list + sample sort)        | 2.1 | [`par::bor_el`] |
+//! | Bor-AL (adjacency arrays + 2-level sort)| 2.2 | [`par::bor_al`] |
+//! | Bor-ALM (Bor-AL + per-thread arenas)    | 2.2 | [`par::bor_al`] |
+//! | Bor-FAL (flexible adjacency list)       | 2.3 | [`par::bor_fal`] |
+//! | MST-BC (concurrent Prim + Borůvka hybrid)| 4  | [`par::mst_bc`] |
+//!
+//! Every algorithm solves the minimum spanning **forest** problem and, with
+//! the `(weight, edge id)` total order, produces exactly the same edge set —
+//! the invariant the verification module and test suite enforce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod par;
+pub mod seq;
+pub mod stats;
+pub mod verify;
+
+use msf_graph::EdgeList;
+use stats::RunStats;
+
+/// Which MSF algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Sequential Prim with binary heap.
+    Prim,
+    /// Sequential Kruskal with non-recursive merge sort.
+    Kruskal,
+    /// Sequential m log n Borůvka.
+    Boruvka,
+    /// Parallel Borůvka, edge-list representation (global sample sort).
+    BorEl,
+    /// Parallel Borůvka, adjacency arrays (two-level sort).
+    BorAl,
+    /// Bor-AL with per-thread arena memory management.
+    BorAlm,
+    /// Parallel Borůvka, flexible adjacency list.
+    BorFal,
+    /// Bor-FAL behind sampling + cycle-property edge filtering (the
+    /// extension argued for in the paper's §3 analysis).
+    BorFalFilter,
+    /// Parallel Borůvka on an adjacency matrix (JáJá's dense compact-graph;
+    /// the representation behind the earlier Dehne & Götz study). Θ(n²)
+    /// memory — small dense inputs only.
+    BorDense,
+    /// The new hybrid algorithm (concurrent Prim growth + contraction).
+    MstBc,
+}
+
+impl Algorithm {
+    /// All algorithms, sequential baselines first.
+    pub const ALL: [Algorithm; 10] = [
+        Algorithm::Prim,
+        Algorithm::Kruskal,
+        Algorithm::Boruvka,
+        Algorithm::BorEl,
+        Algorithm::BorAl,
+        Algorithm::BorAlm,
+        Algorithm::BorFal,
+        Algorithm::BorFalFilter,
+        Algorithm::BorDense,
+        Algorithm::MstBc,
+    ];
+
+    /// The parallel algorithms compared in the paper's Figs. 4–6.
+    pub const PARALLEL: [Algorithm; 5] = [
+        Algorithm::BorEl,
+        Algorithm::BorAl,
+        Algorithm::BorAlm,
+        Algorithm::BorFal,
+        Algorithm::MstBc,
+    ];
+
+    /// The paper's name for the algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Prim => "Prim",
+            Algorithm::Kruskal => "Kruskal",
+            Algorithm::Boruvka => "Boruvka",
+            Algorithm::BorEl => "Bor-EL",
+            Algorithm::BorAl => "Bor-AL",
+            Algorithm::BorAlm => "Bor-ALM",
+            Algorithm::BorFal => "Bor-FAL",
+            Algorithm::BorFalFilter => "Bor-FAL+filter",
+            Algorithm::BorDense => "Bor-Dense",
+            Algorithm::MstBc => "MST-BC",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Run-time configuration shared by all algorithms.
+#[derive(Debug, Clone)]
+pub struct MsfConfig {
+    /// Logical processor count `p`: the number of SPMD workers (MST-BC) and
+    /// of parallel blocks (Borůvka variants). On a machine whose rayon pool
+    /// is at least this wide it is also the physical parallelism.
+    pub threads: usize,
+    /// MST-BC recurses until the contracted problem has at most this many
+    /// vertices, then solves it sequentially (the paper's `nb`).
+    pub base_size: usize,
+    /// MST-BC: randomly permute the vertex visit order (the paper's
+    /// progress-with-high-probability safeguard).
+    pub shuffle: bool,
+    /// MST-BC: steal vertices from other processors' partitions when your
+    /// own is exhausted.
+    pub work_stealing: bool,
+    /// Seed for the MST-BC permutation.
+    pub seed: u64,
+    /// Bor-EL: replace the comparison sample sort in compact-graph with a
+    /// comparison-free radix grouping over packed endpoint pairs (the
+    /// counting-sort ablation of bench `ablation_compact`).
+    pub radix_compact: bool,
+}
+
+impl Default for MsfConfig {
+    fn default() -> Self {
+        MsfConfig {
+            threads: rayon::current_num_threads().max(1),
+            base_size: 64,
+            shuffle: true,
+            work_stealing: true,
+            seed: 0xB0C0,
+            radix_compact: false,
+        }
+    }
+}
+
+impl MsfConfig {
+    /// Config with an explicit processor count.
+    pub fn with_threads(threads: usize) -> Self {
+        MsfConfig {
+            threads: threads.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// The result of an MSF computation.
+#[derive(Debug, Clone)]
+pub struct MsfResult {
+    /// Input edge ids in the forest, sorted ascending (so results compare
+    /// with `==`).
+    pub edges: Vec<u32>,
+    /// Sum of selected edge weights.
+    pub total_weight: f64,
+    /// Number of trees in the forest (== connected components of the input,
+    /// counting isolated vertices).
+    pub components: u32,
+    /// Timing, iteration, and modeled-cost statistics.
+    pub stats: RunStats,
+}
+
+impl MsfResult {
+    pub(crate) fn from_ids(g: &EdgeList, mut ids: Vec<u32>, stats: RunStats) -> Self {
+        ids.sort_unstable();
+        debug_assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate MSF edge");
+        let total_weight = ids.iter().map(|&id| g.edge(id).w).sum();
+        let components = (g.num_vertices() - ids.len()) as u32;
+        MsfResult {
+            edges: ids,
+            total_weight,
+            components,
+            stats,
+        }
+    }
+}
+
+/// Compute the minimum spanning forest of `g` with the chosen algorithm.
+pub fn minimum_spanning_forest(g: &EdgeList, algorithm: Algorithm, cfg: &MsfConfig) -> MsfResult {
+    match algorithm {
+        Algorithm::Prim => seq::prim::msf(g),
+        Algorithm::Kruskal => seq::kruskal::msf(g),
+        Algorithm::Boruvka => seq::boruvka::msf(g),
+        Algorithm::BorEl => par::bor_el::msf(g, cfg),
+        Algorithm::BorAl => par::bor_al::msf(g, cfg, par::bor_al::AllocPolicy::SystemHeap),
+        Algorithm::BorAlm => par::bor_al::msf(g, cfg, par::bor_al::AllocPolicy::ThreadArena),
+        Algorithm::BorFal => par::bor_fal::msf(g, cfg),
+        Algorithm::BorFalFilter => par::filter::msf(g, cfg),
+        Algorithm::BorDense => par::bor_dense::msf(g, cfg),
+        Algorithm::MstBc => par::mst_bc::msf(g, cfg),
+    }
+}
+
+/// Run the three sequential baselines and return the fastest result — the
+/// paper always reports speedup "compared with the best sequential
+/// algorithm" (§5.2).
+pub fn best_sequential(g: &EdgeList) -> (Algorithm, MsfResult) {
+    [Algorithm::Prim, Algorithm::Kruskal, Algorithm::Boruvka]
+        .into_iter()
+        .map(|a| (a, minimum_spanning_forest(g, a, &MsfConfig::default())))
+        .min_by(|a, b| {
+            a.1.stats
+                .total_seconds
+                .partial_cmp(&b.1.stats.total_seconds)
+                .expect("finite timings")
+        })
+        .expect("non-empty candidate list")
+}

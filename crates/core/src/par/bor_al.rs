@@ -1,0 +1,380 @@
+//! Bor-AL / Bor-ALM: parallel Borůvka on adjacency arrays with the
+//! two-level compact-graph sort (paper §2.2).
+//!
+//! compact-graph here is *bucketed*: first a small counting sort groups the
+//! vertex array by supervertex label, then each vertex's adjacency list is
+//! sorted individually — insertion sort for the many short lists, bottom-up
+//! merge sort for long ones — and the sorted member lists of each
+//! supervertex are k-way merged, dropping self-loops and keeping the
+//! lightest of every multi-edge group. Sorting within buckets "saves
+//! unnecessary comparisons between edges that have no vertices in common",
+//! which is the paper's explanation for Bor-AL beating Bor-EL.
+//!
+//! **Bor-ALM** is the same algorithm under a different allocation policy:
+//! instead of one fresh heap allocation per supervertex list per iteration,
+//! each worker appends lists into a retained per-worker arena buffer — the
+//! paper's per-thread memory segments that sidestep the shared `malloc`
+//! lock on Solaris.
+
+use msf_graph::{EdgeKey, EdgeList, OrderedWeight};
+use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::sort::two_level_sort_by;
+use rayon::prelude::*;
+
+use crate::par::common::{connect_components, emit_unique, group_by_label, PHASE_OVERHEAD};
+use crate::stats::{IterationStats, RunStats, StepStats};
+use crate::{MsfConfig, MsfResult};
+
+/// How compact-graph allocates the new adjacency lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// One heap allocation per supervertex list per iteration (Bor-AL).
+    SystemHeap,
+    /// Per-worker retained arena buffers (Bor-ALM).
+    ThreadArena,
+}
+
+/// One adjacency entry: target vertex, weight, original edge id.
+#[derive(Debug, Clone, Copy)]
+struct AdjEntry {
+    t: u32,
+    w: f64,
+    id: u32,
+}
+
+impl AdjEntry {
+    #[inline]
+    fn key(&self) -> EdgeKey {
+        EdgeKey {
+            w: OrderedWeight(self.w),
+            id: self.id,
+        }
+    }
+
+    /// compact-graph sort key: target supervertex first, then edge key.
+    #[inline]
+    fn group_key(&self) -> (u32, OrderedWeight, u32) {
+        (self.t, OrderedWeight(self.w), self.id)
+    }
+}
+
+/// Adjacency lists under either allocation policy.
+enum Lists {
+    Heap(Vec<Vec<AdjEntry>>),
+    /// `index[v] = (worker, start, len)` into `storage[worker]`.
+    Arena {
+        index: Vec<(u32, u32, u32)>,
+        storage: Vec<Vec<AdjEntry>>,
+    },
+}
+
+impl Lists {
+    #[inline]
+    fn list(&self, v: usize) -> &[AdjEntry] {
+        match self {
+            Lists::Heap(lists) => &lists[v],
+            Lists::Arena { index, storage } => {
+                let (b, s, l) = index[v];
+                &storage[b as usize][s as usize..(s + l) as usize]
+            }
+        }
+    }
+
+    fn total_entries(&self) -> usize {
+        match self {
+            Lists::Heap(lists) => lists.iter().map(Vec::len).sum(),
+            Lists::Arena { index, .. } => index.iter().map(|&(_, _, l)| l as usize).sum(),
+        }
+    }
+}
+
+/// Compute the MSF with Bor-AL (`SystemHeap`) or Bor-ALM (`ThreadArena`).
+pub fn msf(g: &EdgeList, cfg: &MsfConfig, policy: AllocPolicy) -> MsfResult {
+    let watch = Stopwatch::start();
+    let p = cfg.threads.max(1);
+    let name = match policy {
+        AllocPolicy::SystemHeap => "Bor-AL",
+        AllocPolicy::ThreadArena => "Bor-ALM",
+    };
+    let mut stats = RunStats::new(name, p);
+
+    let mut n = g.num_vertices();
+    let mut out: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
+
+    // Initial lists straight from the input.
+    let csr = msf_graph::AdjacencyArray::from_edge_list(g);
+    let mut lists = Lists::Heap(
+        (0..n as u32)
+            .map(|v| {
+                csr.neighbors(v)
+                    .map(|(t, w, id)| AdjEntry { t, w, id })
+                    .collect()
+            })
+            .collect(),
+    );
+    drop(csr);
+
+    loop {
+        let directed_edges = lists.total_entries();
+        if directed_edges == 0 {
+            break;
+        }
+        let mut it = IterationStats {
+            vertices: n,
+            directed_edges,
+            ..Default::default()
+        };
+        let mut timer = Stopwatch::start();
+
+        // Step 1: find-min — scan each vertex's (contiguous) list.
+        let mut fm_meters = vec![WorkMeter::new(); p];
+        let (to, chosen) = find_min(&lists, n, p, &mut fm_meters);
+        emit_unique(&mut out, chosen);
+        it.find_min = StepStats::from_meters(timer.lap(), &fm_meters);
+        it.find_min.modeled_max += PHASE_OVERHEAD;
+
+        // Step 2: connect-components.
+        let mut cc_meters = vec![WorkMeter::new(); p];
+        let (labels, k) = connect_components(to, p, &mut cc_meters);
+        it.connect = StepStats::from_meters(timer.lap(), &cc_meters);
+        it.connect.modeled_max += PHASE_OVERHEAD;
+
+        // Step 3: compact-graph — the two-level sort + k-way merge.
+        let mut cg_meters = vec![WorkMeter::new(); p];
+        lists = compact(&lists, &labels, k as usize, p, policy, &mut cg_meters);
+        n = k as usize;
+        it.compact = StepStats::from_meters(timer.lap(), &cg_meters);
+        it.compact.modeled_max += PHASE_OVERHEAD;
+
+        stats.push_iteration(it);
+        if n <= 1 {
+            break;
+        }
+    }
+
+    stats.total_seconds = watch.seconds();
+    MsfResult::from_ids(g, out, stats)
+}
+
+/// find-min over per-vertex lists: returns the hook targets (`v` itself when
+/// the list is empty) and the chosen edge ids.
+fn find_min(
+    lists: &Lists,
+    n: usize,
+    p: usize,
+    meters: &mut [WorkMeter],
+) -> (Vec<u32>, Vec<u32>) {
+    let parts: Vec<(Vec<u32>, Vec<u32>, WorkMeter)> = (0..p)
+        .into_par_iter()
+        .map(|t| {
+            let r = msf_primitives::block_range(n, p, t);
+            let mut meter = WorkMeter::new();
+            let mut to = Vec::with_capacity(r.len());
+            let mut chosen = Vec::new();
+            for v in r {
+                let list = lists.list(v);
+                meter.mem(1);
+                meter.ops(list.len() as u64);
+                match list.iter().min_by_key(|e| e.key()) {
+                    Some(best) => {
+                        to.push(best.t);
+                        chosen.push(best.id);
+                    }
+                    None => to.push(v as u32),
+                }
+            }
+            (to, chosen, meter)
+        })
+        .collect();
+    let mut to = Vec::with_capacity(n);
+    let mut chosen = Vec::new();
+    for (t, (tpart, cpart, m)) in parts.into_iter().enumerate() {
+        meters[t] = meters[t] + m;
+        to.extend_from_slice(&tpart);
+        chosen.extend_from_slice(&cpart);
+    }
+    (to, chosen)
+}
+
+/// The two-level compact-graph step.
+fn compact(
+    lists: &Lists,
+    labels: &[u32],
+    k: usize,
+    p: usize,
+    policy: AllocPolicy,
+    meters: &mut [WorkMeter],
+) -> Lists {
+    // "Sort the vertex array according to the supervertex label" — the
+    // smaller parallel sort is a counting sort here.
+    let (starts, order) = group_by_label(labels, k);
+    for m in meters.iter_mut() {
+        m.mem((labels.len() / p.max(1)) as u64 + 1);
+        m.ops((labels.len() / p.max(1)) as u64 + 1);
+    }
+
+    // Each worker builds the lists for its block of new supervertices.
+    let parts: Vec<(Vec<Vec<AdjEntry>>, WorkMeter)> = (0..p)
+        .into_par_iter()
+        .map(|t| {
+            let r = msf_primitives::block_range(k, p, t);
+            let mut meter = WorkMeter::new();
+            let mut built: Vec<Vec<AdjEntry>> = Vec::with_capacity(r.len());
+            // Scratch for the relabeled, per-member-sorted entries.
+            let mut scratch: Vec<AdjEntry> = Vec::new();
+            let mut seg_bounds: Vec<usize> = Vec::new();
+            for s in r {
+                scratch.clear();
+                seg_bounds.clear();
+                seg_bounds.push(0);
+                for &v in &order[starts[s]..starts[s + 1]] {
+                    let start = scratch.len();
+                    for e in lists.list(v as usize) {
+                        meter.mem(1); // label lookup
+                        let tl = labels[e.t as usize];
+                        if tl != s as u32 {
+                            scratch.push(AdjEntry { t: tl, ..*e });
+                        }
+                    }
+                    let seg = &mut scratch[start..];
+                    let len = seg.len() as u64;
+                    meter.ops(len * (64 - len.max(2).leading_zeros()) as u64);
+                    two_level_sort_by(seg, |a, b| a.group_key() < b.group_key());
+                    seg_bounds.push(scratch.len());
+                }
+                built.push(merge_segments(&scratch, &seg_bounds, &mut meter));
+            }
+            (built, meter)
+        })
+        .collect();
+
+    // Stitch per-worker outputs into the chosen representation.
+    match policy {
+        AllocPolicy::SystemHeap => {
+            let mut lists: Vec<Vec<AdjEntry>> = Vec::with_capacity(k);
+            for (t, (built, m)) in parts.into_iter().enumerate() {
+                meters[t] = meters[t] + m;
+                lists.extend(built);
+            }
+            Lists::Heap(lists)
+        }
+        AllocPolicy::ThreadArena => {
+            let mut index: Vec<(u32, u32, u32)> = Vec::with_capacity(k);
+            let mut storage: Vec<Vec<AdjEntry>> = Vec::with_capacity(parts.len());
+            for (t, (built, m)) in parts.into_iter().enumerate() {
+                meters[t] = meters[t] + m;
+                let mut flat: Vec<AdjEntry> =
+                    Vec::with_capacity(built.iter().map(Vec::len).sum());
+                for list in built {
+                    let start = flat.len() as u32;
+                    flat.extend_from_slice(&list);
+                    index.push((t as u32, start, list.len() as u32));
+                }
+                storage.push(flat);
+            }
+            Lists::Arena { index, storage }
+        }
+    }
+}
+
+/// K-way merge of per-member sorted segments, keeping the minimum entry per
+/// target ("the set of vertices with the same supervertex label … can be
+/// merged efficiently").
+fn merge_segments(scratch: &[AdjEntry], bounds: &[usize], meter: &mut WorkMeter) -> Vec<AdjEntry> {
+    let segs = bounds.len() - 1;
+    let mut outlist: Vec<AdjEntry> = Vec::with_capacity(scratch.len());
+    if segs == 1 {
+        // Single member: already sorted; dedup by target in one pass.
+        for e in scratch {
+            if outlist.last().is_none_or(|l| l.t != e.t) {
+                outlist.push(*e);
+            }
+        }
+        meter.ops(scratch.len() as u64);
+        return outlist;
+    }
+    type Head = std::cmp::Reverse<((u32, OrderedWeight, u32), usize)>;
+    let mut heads: std::collections::BinaryHeap<Head> =
+        (0..segs)
+            .filter(|&i| bounds[i] < bounds[i + 1])
+            .map(|i| std::cmp::Reverse((scratch[bounds[i]].group_key(), i)))
+            .collect();
+    let mut cursor: Vec<usize> = bounds[..segs].to_vec();
+    while let Some(std::cmp::Reverse((_, i))) = heads.pop() {
+        let e = scratch[cursor[i]];
+        meter.ops(2);
+        if outlist.last().is_none_or(|l| l.t != e.t) {
+            outlist.push(e);
+        }
+        cursor[i] += 1;
+        if cursor[i] < bounds[i + 1] {
+            heads.push(std::cmp::Reverse((scratch[cursor[i]].group_key(), i)));
+        }
+    }
+    outlist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msf_graph::generators::{random_graph, GeneratorConfig};
+
+    fn cfg(p: usize) -> MsfConfig {
+        MsfConfig::with_threads(p)
+    }
+
+    #[test]
+    fn triangle_both_policies() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        for policy in [AllocPolicy::SystemHeap, AllocPolicy::ThreadArena] {
+            let r = msf(&g, &cfg(2), policy);
+            assert_eq!(r.edges, vec![0, 1], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = random_graph(&GeneratorConfig::with_seed(seed), 400, 1600);
+            let expect = crate::seq::kruskal::msf(&g);
+            for p in [1, 2, 4] {
+                for policy in [AllocPolicy::SystemHeap, AllocPolicy::ThreadArena] {
+                    let r = msf(&g, &cfg(p), policy);
+                    assert_eq!(r.edges, expect.edges, "seed {seed}, p {p}, {policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_edge_merge_keeps_minimum() {
+        // A square whose contraction creates parallel edges: 0-1 and 2-3
+        // are the light pair edges; between the pairs run 1-2 (w 10, id 2),
+        // 0-3 (w 9, id 3), 0-2 (w 8, id 4). After one iteration the three
+        // become parallel edges and only id 4 (w 8) must survive and win.
+        let g = EdgeList::from_triples(
+            4,
+            vec![(0, 1, 1.0), (2, 3, 1.5), (1, 2, 10.0), (0, 3, 9.0), (0, 2, 8.0)],
+        );
+        let r = msf(&g, &cfg(2), AllocPolicy::SystemHeap);
+        assert_eq!(r.edges, vec![0, 1, 4]);
+        assert_eq!(r.total_weight, 1.0 + 1.5 + 8.0);
+    }
+
+    #[test]
+    fn disconnected_forest() {
+        let g = EdgeList::from_triples(5, vec![(0, 1, 1.0), (2, 3, 2.0)]);
+        let r = msf(&g, &cfg(3), AllocPolicy::ThreadArena);
+        assert_eq!(r.edges, vec![0, 1]);
+        assert_eq!(r.components, 3);
+    }
+
+    #[test]
+    fn alm_and_al_byte_identical() {
+        let g = random_graph(&GeneratorConfig::with_seed(31), 500, 2500);
+        let a = msf(&g, &cfg(4), AllocPolicy::SystemHeap);
+        let b = msf(&g, &cfg(4), AllocPolicy::ThreadArena);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.total_weight, b.total_weight);
+    }
+}

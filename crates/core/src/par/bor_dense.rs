@@ -1,0 +1,194 @@
+//! Bor-Dense: parallel Borůvka on an adjacency matrix.
+//!
+//! The dense counterpart the paper positions its sparse designs against:
+//! "For dense graphs that can be represented by an adjacency matrix, JáJá
+//! describes a simple and efficient implementation" of compact-graph (§2) —
+//! and the representation the earlier BSP study of Dehne & Götz used (§1.1),
+//! which "is not suitable for the more challenging sparse graphs".
+//!
+//! Steps per iteration: find-min is a per-row scan, connect-components is
+//! the usual hook + pointer-jump, and compact-graph folds the old matrix
+//! into a fresh k×k matrix with each worker owning a block of old rows and
+//! scattering into per-worker partial matrices that are reduced at the end
+//! (Θ(n²) work regardless of m — great at high density, hopeless for the
+//! sparse inputs the paper targets, which bench `ablation_dense` shows).
+
+use msf_graph::dense::DenseGraph;
+use msf_graph::EdgeList;
+use msf_primitives::cost::{Stopwatch, WorkMeter};
+use rayon::prelude::*;
+
+use crate::par::common::{connect_components, emit_unique, PHASE_OVERHEAD};
+use crate::stats::{IterationStats, RunStats, StepStats};
+use crate::{MsfConfig, MsfResult};
+
+/// Compute the MSF with dense Borůvka. Memory is Θ(n²); see
+/// [`msf_graph::dense::MAX_DENSE_VERTICES`].
+pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
+    let watch = Stopwatch::start();
+    let p = cfg.threads.max(1);
+    let mut stats = RunStats::new("Bor-Dense", p);
+
+    let mut dense = DenseGraph::from_edge_list(g);
+    let mut out: Vec<u32> = Vec::with_capacity(g.num_vertices().saturating_sub(1));
+
+    loop {
+        let n = dense.num_vertices();
+        if n <= 1 {
+            break;
+        }
+        let mut it = IterationStats {
+            vertices: n,
+            directed_edges: dense.directed_entries(),
+            ..Default::default()
+        };
+        let mut timer = Stopwatch::start();
+
+        // find-min: per-row scans, p blocks of rows.
+        let mut fm_meters = vec![WorkMeter::new(); p];
+        let parts: Vec<(Vec<u32>, Vec<u32>, WorkMeter)> = (0..p)
+            .into_par_iter()
+            .map(|t| {
+                let r = msf_primitives::block_range(n, p, t);
+                let mut meter = WorkMeter::new();
+                let mut to = Vec::with_capacity(r.len());
+                let mut chosen = Vec::new();
+                for v in r {
+                    meter.ops(n as u64);
+                    meter.mem(1);
+                    match dense.row_min(v as u32) {
+                        Some((b, _, id)) => {
+                            to.push(b);
+                            chosen.push(id);
+                        }
+                        None => to.push(v as u32),
+                    }
+                }
+                (to, chosen, meter)
+            })
+            .collect();
+        let mut to = Vec::with_capacity(n);
+        let mut chosen = Vec::new();
+        for (t, (tp, cp, m)) in parts.into_iter().enumerate() {
+            fm_meters[t] = fm_meters[t] + m;
+            to.extend_from_slice(&tp);
+            chosen.extend_from_slice(&cp);
+        }
+        let any = !chosen.is_empty();
+        it.find_min = StepStats::from_meters(timer.lap(), &fm_meters);
+        it.find_min.modeled_max += PHASE_OVERHEAD;
+        if !any {
+            stats.push_iteration(it);
+            break; // every remaining supervertex is isolated
+        }
+        emit_unique(&mut out, chosen);
+
+        // connect-components.
+        let mut cc_meters = vec![WorkMeter::new(); p];
+        let (labels, k) = connect_components(to, p, &mut cc_meters);
+        it.connect = StepStats::from_meters(timer.lap(), &cc_meters);
+        it.connect.modeled_max += PHASE_OVERHEAD;
+
+        // compact-graph: fold rows into per-worker k×k partials, reduce.
+        let mut cg_meters = vec![WorkMeter::new(); p];
+        let partials: Vec<(DenseGraph, WorkMeter)> = (0..p)
+            .into_par_iter()
+            .map(|t| {
+                let r = msf_primitives::block_range(n, p, t);
+                let mut meter = WorkMeter::new();
+                let mut part = DenseGraph::empty(k as usize);
+                for a in r {
+                    let la = labels[a];
+                    let (ws, ids) = dense.row(a as u32);
+                    meter.ops(n as u64);
+                    for (b, (&w, &id)) in ws.iter().zip(ids).enumerate() {
+                        if w.is_infinite() {
+                            continue;
+                        }
+                        let lb = labels[b];
+                        if la != lb {
+                            meter.mem(1);
+                            part.relax(la, lb, w, id);
+                        }
+                    }
+                }
+                (part, meter)
+            })
+            .collect();
+        let mut next = DenseGraph::empty(k as usize);
+        for (t, (part, m)) in partials.into_iter().enumerate() {
+            cg_meters[t] = cg_meters[t] + m;
+            for a in 0..k {
+                let (ws, ids) = part.row(a);
+                for (b, (&w, &id)) in ws.iter().zip(ids).enumerate() {
+                    if w.is_finite() {
+                        next.relax(a, b as u32, w, id);
+                    }
+                }
+            }
+        }
+        dense = next;
+        it.compact = StepStats::from_meters(timer.lap(), &cg_meters);
+        it.compact.modeled_max += PHASE_OVERHEAD;
+        stats.push_iteration(it);
+    }
+
+    stats.total_seconds = watch.seconds();
+    MsfResult::from_ids(g, out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msf_graph::generators::{random_graph, GeneratorConfig};
+
+    fn cfg(p: usize) -> MsfConfig {
+        MsfConfig::with_threads(p)
+    }
+
+    #[test]
+    fn triangle() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        assert_eq!(msf(&g, &cfg(2)).edges, vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_kruskal_on_dense_random_graphs() {
+        for seed in 0..3u64 {
+            // Genuinely dense: 300 vertices, 1/3 of all pairs.
+            let g = random_graph(&GeneratorConfig::with_seed(seed), 300, 15_000);
+            let expect = crate::seq::kruskal::msf(&g);
+            for p in [1, 2, 4] {
+                assert_eq!(msf(&g, &cfg(p)).edges, expect.edges, "seed {seed} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_collapse_correctly() {
+        // The matrix keeps only the lightest edge per pair up front; MSF
+        // must match Kruskal on a multigraph-after-contraction scenario.
+        let g = EdgeList::from_triples(
+            4,
+            vec![(0, 1, 1.0), (2, 3, 1.0), (0, 2, 9.0), (1, 3, 3.0), (1, 2, 7.0)],
+        );
+        assert_eq!(msf(&g, &cfg(2)).edges, crate::seq::kruskal::msf(&g).edges);
+    }
+
+    #[test]
+    fn disconnected_and_isolated() {
+        let g = EdgeList::from_triples(6, vec![(0, 1, 1.0), (3, 4, 2.0)]);
+        let r = msf(&g, &cfg(3));
+        assert_eq!(r.edges, vec![0, 1]);
+        assert_eq!(r.components, 4);
+    }
+
+    #[test]
+    fn records_dense_iteration_costs() {
+        let g = random_graph(&GeneratorConfig::with_seed(1), 200, 8000);
+        let r = msf(&g, &cfg(2));
+        assert!(!r.stats.iterations.is_empty());
+        // Dense find-min is Θ(n²) regardless of m.
+        assert!(r.stats.iterations[0].find_min.modeled_total >= (200 * 200) as u64);
+    }
+}

@@ -1,0 +1,245 @@
+//! Bor-FAL: parallel Borůvka on the flexible adjacency list (paper §2.3).
+//!
+//! compact-graph becomes a small sort plus pointer appends — no edge is ever
+//! rewritten or copied, and its cost depends only on the number of
+//! supervertices. In exchange, find-min must translate endpoints through
+//! the vertex→supervertex lookup table and filter self-loops and
+//! multi-edges on the fly, so its cost stays O(m) every iteration. Fewer
+//! memory *writes* is the key SMP win: "memory writes typically generate
+//! more cache coherency transactions than do reads".
+
+use msf_graph::{EdgeKey, EdgeList, FlexAdjacencyList, OrderedWeight};
+use msf_primitives::cost::{Stopwatch, WorkMeter};
+use rayon::prelude::*;
+
+use crate::par::common::{connect_components, emit_unique, PHASE_OVERHEAD};
+use crate::stats::{IterationStats, RunStats, StepStats};
+use crate::{MsfConfig, MsfResult};
+
+/// Compute the MSF with Bor-FAL.
+pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
+    let watch = Stopwatch::start();
+    let p = cfg.threads.max(1);
+    let mut stats = RunStats::new("Bor-FAL", p);
+
+    let mut flex = FlexAdjacencyList::new(g);
+    let mut out: Vec<u32> = Vec::with_capacity(g.num_vertices().saturating_sub(1));
+    // The flexible list never shrinks the edge set, so the 2m column of the
+    // iteration trace is constant — exactly what the paper reports about
+    // Bor-FAL's compact step ("almost the same for the three input graphs
+    // because it only depends on the number of vertices").
+    let directed_edges = flex.base().num_directed_edges();
+
+    loop {
+        let n = flex.num_supervertices();
+        if n <= 1 {
+            break;
+        }
+        let mut it = IterationStats {
+            vertices: n,
+            directed_edges,
+            ..Default::default()
+        };
+        let mut timer = Stopwatch::start();
+
+        // Step 1: find-min with on-the-fly translation + self-loop filter.
+        let mut fm_meters = vec![WorkMeter::new(); p];
+        let (to, chosen, any) = find_min(&flex, p, &mut fm_meters);
+        it.find_min = StepStats::from_meters(timer.lap(), &fm_meters);
+        it.find_min.modeled_max += PHASE_OVERHEAD;
+        if !any {
+            // Every supervertex is mature: the forest is complete.
+            break;
+        }
+        emit_unique(&mut out, chosen);
+
+        // Step 2: connect-components.
+        let mut cc_meters = vec![WorkMeter::new(); p];
+        let (labels, k) = connect_components(to, p, &mut cc_meters);
+        it.connect = StepStats::from_meters(timer.lap(), &cc_meters);
+        it.connect.modeled_max += PHASE_OVERHEAD;
+
+        // Step 3: compact-graph — membership appends + lookup-table rewrite.
+        let mut cg_meter = WorkMeter::new();
+        cg_meter.ops(n as u64); // membership moves
+        cg_meter.mem(flex.labels().len() as u64 / p as u64 + 1); // table rewrite
+        flex.compact(&labels, k as usize);
+        it.compact = StepStats::from_meters(
+            timer.lap(),
+            &vec![
+                WorkMeter {
+                    mem: cg_meter.mem,
+                    ops: cg_meter.ops / p as u64 + 1,
+                };
+                p
+            ],
+        );
+        it.compact.modeled_max += PHASE_OVERHEAD;
+
+        stats.push_iteration(it);
+    }
+
+    stats.total_seconds = watch.seconds();
+    MsfResult::from_ids(g, out, stats)
+}
+
+/// find-min across supervertices: scan every member's base adjacency list,
+/// translating targets through the lookup table; returns hook targets,
+/// chosen edge ids, and whether any supervertex still had an external edge.
+///
+/// Work is partitioned over *member vertices*, not supervertices: once a
+/// giant supervertex absorbs most of the graph, per-supervertex blocks
+/// would leave one worker with nearly all edges ("load balancing among the
+/// processors as the algorithm progresses" — the same balancing concern the
+/// paper raises for find-min). Blocks may split a supervertex, so each
+/// worker returns per-supervertex partial minima that a cheap sequential
+/// pass merges.
+fn find_min(
+    flex: &FlexAdjacencyList,
+    p: usize,
+    meters: &mut [WorkMeter],
+) -> (Vec<u32>, Vec<u32>, bool) {
+    let n = flex.num_supervertices();
+    // Prefix offsets of the virtual concatenation of all member lists.
+    let mut offs: Vec<usize> = Vec::with_capacity(n + 1);
+    offs.push(0);
+    for s in 0..n as u32 {
+        offs.push(offs[s as usize] + flex.members(s).len());
+    }
+    let total = offs[n];
+
+    // Each worker scans a balanced slice of members and emits (supervertex,
+    // best key, hook target, edge id) partials in supervertex order.
+    type Partial = (u32, EdgeKey, u32, u32);
+    let parts: Vec<(Vec<Partial>, WorkMeter)> = (0..p)
+        .into_par_iter()
+        .map(|t| {
+            let r = msf_primitives::block_range(total, p, t);
+            let mut meter = WorkMeter::new();
+            let mut partials: Vec<(u32, EdgeKey, u32, u32)> = Vec::new();
+            if r.is_empty() {
+                return (partials, meter);
+            }
+            // First supervertex whose members overlap this block.
+            let mut s = offs.partition_point(|&o| o <= r.start) - 1;
+            let mut idx = r.start;
+            while idx < r.end {
+                let seg_end = offs[s + 1].min(r.end);
+                let members = flex.members(s as u32);
+                let local = &members[idx - offs[s]..seg_end - offs[s]];
+                let mut best: Option<(EdgeKey, u32, u32)> = None;
+                for &v in local {
+                    meter.mem(1); // member hop (the linked-list pointer chase)
+                    for (ts, w, id) in flex.base().neighbors(v) {
+                        // Every scan translates through the lookup table:
+                        // one scattered read per edge entry.
+                        meter.mem(1);
+                        meter.ops(1);
+                        let ts = flex.supervertex_of(ts);
+                        if ts == s as u32 {
+                            continue; // self-loop filtered in find-min
+                        }
+                        let key = EdgeKey {
+                            w: OrderedWeight(w),
+                            id,
+                        };
+                        if best.is_none_or(|(bk, _, _)| key < bk) {
+                            best = Some((key, ts, id));
+                        }
+                    }
+                }
+                if let Some((key, ts, id)) = best {
+                    partials.push((s as u32, key, ts, id));
+                }
+                idx = seg_end;
+                s += 1;
+            }
+            (partials, meter)
+        })
+        .collect();
+
+    // Merge partials (a supervertex split across blocks contributes one
+    // partial per block; keep the minimum).
+    let mut to: Vec<u32> = (0..n as u32).collect();
+    let mut best_key: Vec<EdgeKey> = vec![EdgeKey::MAX; n];
+    let mut chosen_of: Vec<u32> = vec![u32::MAX; n];
+    for (t, (partials, m)) in parts.into_iter().enumerate() {
+        meters[t] = meters[t] + m;
+        for (s, key, ts, id) in partials {
+            if key < best_key[s as usize] {
+                best_key[s as usize] = key;
+                to[s as usize] = ts;
+                chosen_of[s as usize] = id;
+            }
+        }
+    }
+    let chosen: Vec<u32> = chosen_of.into_iter().filter(|&id| id != u32::MAX).collect();
+    let any = !chosen.is_empty();
+    (to, chosen, any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msf_graph::generators::{random_graph, GeneratorConfig};
+
+    fn cfg(p: usize) -> MsfConfig {
+        MsfConfig::with_threads(p)
+    }
+
+    #[test]
+    fn triangle() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let r = msf(&g, &cfg(2));
+        assert_eq!(r.edges, vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = random_graph(&GeneratorConfig::with_seed(seed), 400, 1600);
+            let expect = crate::seq::kruskal::msf(&g);
+            for p in [1, 2, 4] {
+                assert_eq!(msf(&g, &cfg(p)).edges, expect.edges, "seed {seed}, p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_input_terminates_via_maturity() {
+        let g = EdgeList::from_triples(6, vec![(0, 1, 1.0), (2, 3, 2.0), (3, 4, 0.5)]);
+        let r = msf(&g, &cfg(2));
+        assert_eq!(r.edges, vec![0, 1, 2]);
+        assert_eq!(r.components, 3);
+    }
+
+    #[test]
+    fn paper_fig1_example() {
+        // The 6-vertex graph of the paper's Fig. 1.
+        let g = EdgeList::from_triples(
+            6,
+            vec![
+                (0, 4, 1.0),
+                (0, 1, 2.0),
+                (1, 5, 3.0),
+                (4, 2, 4.0),
+                (2, 3, 5.0),
+                (3, 5, 6.0),
+            ],
+        );
+        let r = msf(&g, &cfg(2));
+        assert_eq!(r.edges, crate::seq::kruskal::msf(&g).edges);
+        assert_eq!(r.components, 1);
+        assert_eq!(r.edges.len(), 5);
+    }
+
+    #[test]
+    fn iteration_trace_has_constant_edge_column() {
+        let g = random_graph(&GeneratorConfig::with_seed(2), 300, 900);
+        let r = msf(&g, &cfg(2));
+        assert!(r.stats.iterations.len() >= 2);
+        for it in &r.stats.iterations {
+            assert_eq!(it.directed_edges, 1800, "Bor-FAL never shrinks the edge set");
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The four parallel Borůvka variants (§2) and the new MST-BC hybrid (§4).
+
+pub mod bor_al;
+pub mod bor_dense;
+pub mod bor_el;
+pub mod bor_fal;
+pub mod filter;
+pub(crate) mod common;
+pub mod mst_bc;

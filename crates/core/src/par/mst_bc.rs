@@ -1,0 +1,460 @@
+//! MST-BC: the paper's new shared-memory MSF algorithm (§4, Algs. 1–2).
+//!
+//! `p` processors each run Prim's algorithm concurrently on the shared
+//! graph, growing vertex-disjoint subtrees claimed through a CAS-once color
+//! array. A tree stops growing ("matures") when its heap yields a vertex it
+//! no longer owns or a vertex adjacent to a foreign color. Vertices left
+//! unvisited pick their minimum incident edge (one Borůvka step), mature
+//! subtrees contract via connected components, and the algorithm recurses on
+//! the contracted graph until the problem fits one processor, which finishes
+//! with the best sequential algorithm.
+//!
+//! With p = 1 this *is* Prim's algorithm (one tree grows to completion per
+//! component); with p = n it degenerates to Borůvka. Load balance uses work
+//! stealing from the tail of unfinished partitions; progress against
+//! adversarial start alignments uses a random vertex permutation (Sanders).
+//!
+//! Correctness relies on two facts enforced here (cf. the paper's
+//! Appendix B and DESIGN.md §6): a vertex's color is written exactly once,
+//! so trees never share vertices; and every neighbor — even foreign-colored
+//! — is inserted into the grower's heap, so a tree always stops *before*
+//! skipping a lighter crossing edge, making every accepted edge the minimum
+//! edge over its tree's cut.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use msf_graph::{AdjacencyArray, Edge, EdgeKey, EdgeList, OrderedWeight};
+use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::heap::IndexedHeap;
+use msf_primitives::permutation::parallel_permutation;
+use msf_primitives::steal::StealingPartitions;
+use msf_primitives::team::SmpTeam;
+use msf_primitives::unionfind::UnionFind;
+use rayon::prelude::*;
+
+use crate::par::common::{
+    connect_components_from_roots, relabel_and_filter, sort_and_dedup, PHASE_OVERHEAD,
+};
+use crate::stats::{IterationStats, MstBcStats, RunStats, StepStats};
+use crate::{MsfConfig, MsfResult};
+
+const NONE: u32 = u32::MAX;
+
+/// The sentinel key that makes a tree's start vertex pop first.
+const START_KEY: EdgeKey = EdgeKey {
+    w: OrderedWeight(f64::NEG_INFINITY),
+    id: 0,
+};
+
+/// Compute the MSF with MST-BC.
+pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
+    let watch = Stopwatch::start();
+    let p = cfg.threads.max(1);
+    let mut stats = RunStats::new("MST-BC", p);
+
+    // Current contracted problem: endpoints are current vertex ids, `id`
+    // still the original input edge id.
+    let mut n = g.num_vertices();
+    let mut edges: Vec<Edge> = g.edges().to_vec();
+    let mut out: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
+    let mut level = 0u64;
+
+    while n > cfg.base_size && !edges.is_empty() {
+        let mut it = IterationStats {
+            vertices: n,
+            directed_edges: edges.len() * 2,
+            ..Default::default()
+        };
+        let mut timer = Stopwatch::start();
+
+        // Index edges so chosen edges resolve to current endpoints; the
+        // total-order key still uses the ORIGINAL id, keeping the forest
+        // identical to every other algorithm's under ties.
+        let indexed: Vec<Edge> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Edge::new(e.u, e.v, e.w, i as u32))
+            .collect();
+        let csr = AdjacencyArray::from_edges(n, &indexed);
+
+        // Steps 1–2 (Alg. 2): concurrent Prim growth.
+        let (tree_edges, visited, grow_meters, round_stats) =
+            grow_trees(&csr, &edges, n, p, cfg, level);
+        stats.mstbc = Some(stats.mstbc.unwrap_or_default() + round_stats);
+        it.find_min = StepStats::from_meters(timer.lap(), &grow_meters);
+        it.find_min.modeled_max += PHASE_OVERHEAD;
+
+        // Step 3: Borůvka step for unvisited vertices.
+        let mut b_meters = vec![WorkMeter::new(); p];
+        let boruvka_edges = unvisited_min_edges(&csr, &edges, &visited, n, p, &mut b_meters);
+        let mut chosen = tree_edges;
+        chosen.extend_from_slice(&boruvka_edges);
+        chosen.sort_unstable();
+        chosen.dedup();
+        out.extend(chosen.iter().map(|&i| edges[i as usize].id));
+
+        // Step 4: contract the found forest via connected components.
+        let pairs: Vec<(u32, u32)> = chosen
+            .iter()
+            .map(|&i| (edges[i as usize].u, edges[i as usize].v))
+            .collect();
+        let roots = msf_primitives::connectivity::sv::connected_components(n, &pairs);
+        let (labels, k) = connect_components_from_roots(roots, p, &mut b_meters);
+        it.connect = StepStats::from_meters(timer.lap(), &b_meters);
+        it.connect.modeled_max += PHASE_OVERHEAD;
+
+        // Step 5: rebuild the graph between supervertices.
+        let mut cg_meters = vec![WorkMeter::new(); p];
+        let survivors = relabel_and_filter(&edges, &labels, p, &mut cg_meters);
+        // Canonicalize direction so (u,v) and (v,u) multi-edges merge.
+        let canon: Vec<Edge> = survivors
+            .into_par_iter()
+            .map(|e| {
+                if e.u <= e.v {
+                    e
+                } else {
+                    Edge::new(e.v, e.u, e.w, e.id)
+                }
+            })
+            .collect();
+        edges = sort_and_dedup(canon, p, &mut cg_meters);
+        n = k as usize;
+        it.compact = StepStats::from_meters(timer.lap(), &cg_meters);
+        it.compact.modeled_max += PHASE_OVERHEAD;
+
+        stats.push_iteration(it);
+        level += 1;
+        if n <= 1 {
+            edges.clear();
+        }
+    }
+
+    // Base case: one processor solves the contracted remainder (Kruskal).
+    if !edges.is_empty() {
+        let mut meter = WorkMeter::new();
+        let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| edges[i as usize].key());
+        let mut uf = UnionFind::new(n);
+        for &i in &order {
+            let e = edges[i as usize];
+            meter.ops(2);
+            meter.mem(2);
+            if uf.union(e.u as usize, e.v as usize) {
+                out.push(e.id);
+            }
+        }
+        meter.ops((edges.len().max(2).ilog2() as u64) * edges.len() as u64);
+        stats.add_flat_cost(meter.cost());
+    }
+
+    stats.total_seconds = watch.seconds();
+    MsfResult::from_ids(g, out, stats)
+}
+
+/// Alg. 2: every team member claims uncolored start vertices and grows Prim
+/// trees until maturity. Returns the chosen edge indices, the visited map,
+/// and per-thread work meters.
+fn grow_trees(
+    csr: &AdjacencyArray,
+    edges: &[Edge],
+    n: usize,
+    p: usize,
+    cfg: &MsfConfig,
+    level: u64,
+) -> (Vec<u32>, Vec<bool>, Vec<WorkMeter>, MstBcStats) {
+    let color: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let order: Option<Vec<u32>> = cfg
+        .shuffle
+        .then(|| parallel_permutation(n, p, cfg.seed ^ level.wrapping_mul(0x9e37)));
+    let partitions = StealingPartitions::new(n, p);
+
+    let team = SmpTeam::new(p);
+    let results: Vec<(Vec<u32>, WorkMeter, MstBcStats)> = team.run(|ctx| {
+        let t = ctx.rank;
+        let mut meter = WorkMeter::new();
+        let mut local_stats = MstBcStats::default();
+        let mut heap: IndexedHeap<EdgeKey> = IndexedHeap::new(n);
+        let mut edge_to: Vec<u32> = vec![NONE; n];
+        let mut found: Vec<u32> = Vec::new();
+        let mut trees = 0u32;
+        let mut rng_state = (t as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ level;
+
+        loop {
+            let slot = match partitions.claim_local(t) {
+                Some(slot) => Some(slot),
+                None if cfg.work_stealing => {
+                    rng_state = rng_state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let stolen = partitions.claim_steal_only(t, (rng_state >> 33) as usize);
+                    if stolen.is_some() {
+                        local_stats.steals += 1;
+                    }
+                    stolen
+                }
+                None => None,
+            };
+            let Some(slot) = slot else { break };
+            let v = order.as_ref().map_or(slot as u32, |o| o[slot]);
+            meter.mem(1);
+            if color[v as usize].load(Ordering::SeqCst) != 0 {
+                continue;
+            }
+            // Choose a color unique across processors and this processor's
+            // earlier trees (step 1.2 of Alg. 2).
+            let my_color = trees
+                .wrapping_mul(p as u32)
+                .wrapping_add(t as u32)
+                .wrapping_add(1);
+            trees += 1;
+            if color[v as usize]
+                .compare_exchange(0, my_color, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue; // lost the race for the start vertex
+            }
+            local_stats.trees += 1;
+            // Grow one Prim tree from v.
+            heap.reset();
+            heap.insert_or_decrease(v, START_KEY);
+            edge_to[v as usize] = NONE;
+            let mut accepted = 0u32;
+            while let Some((_, w)) = heap.extract_min() {
+                meter.ops(1);
+                // On hosts with fewer cores than p, one thread could grow an
+                // entire component before its peers are scheduled, which no
+                // real SMP would do. Yielding every few dozen acceptances
+                // interleaves the growers the way genuine concurrency does;
+                // it is a no-op cost on machines with >= p cores.
+                accepted += 1;
+                if p > 1 && accepted.is_multiple_of(32) {
+                    std::thread::yield_now();
+                }
+                if color[w as usize].load(Ordering::SeqCst) != my_color {
+                    local_stats.collisions += 1;
+                    break; // collision: another tree owns w — mature
+                }
+                if visited[w as usize].load(Ordering::SeqCst) {
+                    continue; // already folded into this tree
+                }
+                // Maturity check: any neighbor already in a foreign tree?
+                let mut foreign = false;
+                for (u, _, _) in csr.neighbors(w) {
+                    meter.mem(1);
+                    let c = color[u as usize].load(Ordering::SeqCst);
+                    if c != 0 && c != my_color {
+                        foreign = true;
+                        break;
+                    }
+                }
+                if foreign {
+                    local_stats.matured += 1;
+                    break;
+                }
+                visited[w as usize].store(true, Ordering::SeqCst);
+                local_stats.visited += 1;
+                if edge_to[w as usize] != NONE {
+                    found.push(edge_to[w as usize]);
+                }
+                for (u, _, idx) in csr.neighbors(w) {
+                    meter.mem(1);
+                    meter.ops(1);
+                    if color[u as usize].load(Ordering::SeqCst) == my_color
+                        && visited[u as usize].load(Ordering::SeqCst)
+                    {
+                        continue; // my own tree body
+                    }
+                    let _ = color[u as usize].compare_exchange(
+                        0,
+                        my_color,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    // Insert regardless of who owns u: if the cut minimum
+                    // leads into a foreign tree we must *stop* there, not
+                    // skip past it (see module docs).
+                    let key = edges[idx as usize].key();
+                    if heap.insert_or_decrease(u, key) {
+                        edge_to[u as usize] = idx;
+                    }
+                }
+            }
+        }
+        (found, meter, local_stats)
+    });
+
+    let mut found = Vec::new();
+    let mut meters = Vec::with_capacity(p);
+    let mut agg = MstBcStats::default();
+    for (f, m, st) in results {
+        found.extend_from_slice(&f);
+        meters.push(m);
+        agg = agg + st;
+    }
+    let visited: Vec<bool> = visited.into_iter().map(AtomicBool::into_inner).collect();
+    (found, visited, meters, agg)
+}
+
+/// Step 3: each unvisited vertex contributes its minimum incident edge.
+fn unvisited_min_edges(
+    csr: &AdjacencyArray,
+    edges: &[Edge],
+    visited: &[bool],
+    n: usize,
+    p: usize,
+    meters: &mut [WorkMeter],
+) -> Vec<u32> {
+    let parts: Vec<(Vec<u32>, WorkMeter)> = (0..p)
+        .into_par_iter()
+        .map(|t| {
+            let r = msf_primitives::block_range(n, p, t);
+            let mut meter = WorkMeter::new();
+            let mut found = Vec::new();
+            for v in r {
+                if visited[v] {
+                    continue;
+                }
+                meter.mem(1);
+                let mut best: Option<(EdgeKey, u32)> = None;
+                for (_, _, idx) in csr.neighbors(v as u32) {
+                    meter.ops(1);
+                    let key = edges[idx as usize].key();
+                    if best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, idx));
+                    }
+                }
+                if let Some((_, idx)) = best {
+                    found.push(idx);
+                }
+            }
+            (found, meter)
+        })
+        .collect();
+    let mut found = Vec::new();
+    for (t, (f, m)) in parts.into_iter().enumerate() {
+        meters[t] = meters[t] + m;
+        found.extend_from_slice(&f);
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msf_graph::generators::{
+        random_graph, structured, GeneratorConfig, StructuredKind,
+    };
+
+    fn cfg(p: usize) -> MsfConfig {
+        MsfConfig {
+            base_size: 8,
+            ..MsfConfig::with_threads(p)
+        }
+    }
+
+    #[test]
+    fn triangle() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let r = msf(&g, &cfg(2));
+        assert_eq!(r.edges, vec![0, 1]);
+    }
+
+    #[test]
+    fn single_thread_behaves_as_prim() {
+        let g = random_graph(&GeneratorConfig::with_seed(3), 300, 1200);
+        let r = msf(&g, &cfg(1));
+        assert_eq!(r.edges, crate::seq::prim::msf(&g).edges);
+    }
+
+    #[test]
+    fn matches_kruskal_for_many_thread_counts() {
+        for seed in 0..4u64 {
+            let g = random_graph(&GeneratorConfig::with_seed(seed), 400, 1600);
+            let expect = crate::seq::kruskal::msf(&g);
+            for p in [1, 2, 3, 4, 8] {
+                let r = msf(&g, &cfg(p));
+                assert_eq!(r.edges, expect.edges, "seed {seed}, p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_structured_worst_cases() {
+        for kind in [
+            StructuredKind::Str0,
+            StructuredKind::Str1,
+            StructuredKind::Str2,
+            StructuredKind::Str3,
+        ] {
+            let g = structured(&GeneratorConfig::with_seed(1), kind, 200);
+            let r = msf(&g, &cfg(4));
+            // The input is a tree: the MSF is the whole edge set.
+            assert_eq!(r.edges, (0..199u32).collect::<Vec<_>>(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_forest() {
+        let g = EdgeList::from_triples(7, vec![(0, 1, 1.0), (2, 3, 2.0), (3, 4, 0.5)]);
+        let r = msf(&g, &cfg(3));
+        assert_eq!(r.edges, vec![0, 1, 2]);
+        assert_eq!(r.components, 4);
+    }
+
+    #[test]
+    fn ablations_still_correct() {
+        let g = random_graph(&GeneratorConfig::with_seed(5), 500, 2000);
+        let expect = crate::seq::kruskal::msf(&g);
+        for (shuffle, stealing) in [(false, false), (false, true), (true, false)] {
+            let c = MsfConfig {
+                shuffle,
+                work_stealing: stealing,
+                base_size: 8,
+                ..MsfConfig::with_threads(4)
+            };
+            let r = msf(&g, &c);
+            assert_eq!(r.edges, expect.edges, "shuffle={shuffle} steal={stealing}");
+        }
+    }
+
+    #[test]
+    fn behavioral_counters_are_plausible() {
+        let g = random_graph(&GeneratorConfig::with_seed(8), 2_000, 8_000);
+        let r = msf(&g, &cfg(4));
+        let st = r.stats.mstbc.expect("MST-BC populates its counters");
+        assert!(st.trees >= 1);
+        assert!(st.visited >= 1);
+        // At p=1 there are no foreign trees to collide with…
+        let r1 = msf(&g, &cfg(1));
+        let st1 = r1.stats.mstbc.expect("populated at p=1 too");
+        assert_eq!(st1.collisions, 0, "single worker never collides");
+        assert_eq!(st1.steals, 0, "single worker has nobody to steal from");
+        // …and one worker visits every vertex of the (connected) graph.
+        assert_eq!(st1.visited, 2_000);
+    }
+
+    #[test]
+    fn no_stealing_when_disabled() {
+        let g = random_graph(&GeneratorConfig::with_seed(9), 1_000, 4_000);
+        let c = MsfConfig {
+            work_stealing: false,
+            base_size: 8,
+            ..MsfConfig::with_threads(4)
+        };
+        let r = msf(&g, &c);
+        assert_eq!(r.stats.mstbc.unwrap().steals, 0);
+    }
+
+    #[test]
+    fn base_case_only_when_tiny() {
+        let g = random_graph(&GeneratorConfig::with_seed(6), 30, 60);
+        let c = MsfConfig {
+            base_size: 1000,
+            ..MsfConfig::with_threads(4)
+        };
+        let r = msf(&g, &c);
+        assert_eq!(r.edges, crate::seq::kruskal::msf(&g).edges);
+        assert!(r.stats.iterations.is_empty(), "entirely the base case");
+    }
+}

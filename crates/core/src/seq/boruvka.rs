@@ -1,0 +1,113 @@
+//! The classic m log n sequential Borůvka: every round scans all edges to
+//! find each component's minimum outgoing edge, merges along them, and
+//! repeats until no merge happens. The third baseline of §5.2 (and what
+//! earlier studies like Chung & Condon compared against).
+
+use msf_graph::EdgeList;
+use msf_primitives::cost::Stopwatch;
+use msf_primitives::unionfind::UnionFind;
+
+use crate::stats::RunStats;
+use crate::MsfResult;
+
+const NONE: u32 = u32::MAX;
+
+/// Compute the MSF with sequential Borůvka rounds over a union–find.
+pub fn msf(g: &EdgeList) -> MsfResult {
+    let watch = Stopwatch::start();
+    let n = g.num_vertices();
+    let edges = g.edges();
+    let mut uf = UnionFind::new(n);
+    let mut best: Vec<u32> = vec![NONE; n]; // per-root best edge id this round
+    let mut out: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
+
+    loop {
+        // find-min: per component root, the minimum outgoing edge.
+        let mut any_candidate = false;
+        for e in edges {
+            let (ru, rv) = (uf.find(e.u as usize), uf.find(e.v as usize));
+            if ru == rv {
+                continue;
+            }
+            any_candidate = true;
+            let key = e.key();
+            for r in [ru, rv] {
+                if best[r] == NONE || key < edges[best[r] as usize].key() {
+                    best[r] = e.id;
+                }
+            }
+        }
+        if !any_candidate {
+            break;
+        }
+        // Merge along the chosen edges. The same edge may be chosen by both
+        // of its components; `union` returning false filters the duplicate.
+        let mut merged = false;
+        for slot in best.iter_mut() {
+            let id = *slot;
+            if id == NONE {
+                continue;
+            }
+            *slot = NONE;
+            let e = edges[id as usize];
+            if uf.union(e.u as usize, e.v as usize) {
+                out.push(id);
+                merged = true;
+            }
+        }
+        debug_assert!(merged, "a candidate round must merge something");
+    }
+
+    let mut stats = RunStats::new("Boruvka", 1);
+    stats.total_seconds = watch.seconds();
+    MsfResult::from_ids(g, out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        assert_eq!(msf(&g).edges, vec![0, 1]);
+    }
+
+    #[test]
+    fn forest_and_isolated_vertices() {
+        let g = EdgeList::from_triples(7, vec![(0, 1, 1.0), (1, 2, 0.5), (4, 5, 2.0)]);
+        let r = msf(&g);
+        assert_eq!(r.edges, vec![0, 1, 2]);
+        assert_eq!(r.components, 4); // {0,1,2}, {3}, {4,5}, {6}
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_inputs() {
+        use msf_graph::generators::{random_graph, GeneratorConfig};
+        for seed in 0..5u64 {
+            let g = random_graph(&GeneratorConfig::with_seed(seed), 150, 400);
+            assert_eq!(
+                msf(&g).edges,
+                super::super::kruskal::msf(&g).edges,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_equal_weights() {
+        // A 4-cycle of equal weights: ids 0,1,2 win by the tie-break order.
+        let g = EdgeList::from_triples(
+            4,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
+        );
+        assert_eq!(msf(&g).edges, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = msf(&EdgeList::from_triples(3, vec![]));
+        assert!(r.edges.is_empty());
+        assert_eq!(r.components, 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! The sequential baselines (paper §5.2). Speedup in every figure is
+//! measured against the *best* of these on the given input, which is what
+//! makes the paper's speedups meaningful ("remarkable to note since the
+//! sequential algorithm has very low overhead").
+
+pub mod boruvka;
+pub mod kruskal;
+pub mod prim;
+
+#[cfg(test)]
+mod tests {
+    use crate::{verify, Algorithm, MsfConfig};
+    use msf_graph::generators::{random_graph, GeneratorConfig};
+
+    /// All three baselines agree edge-for-edge on random graphs.
+    #[test]
+    fn baselines_agree() {
+        let cfg = GeneratorConfig::with_seed(77);
+        let g = random_graph(&cfg, 300, 900);
+        let cfg_m = MsfConfig::default();
+        let p = crate::minimum_spanning_forest(&g, Algorithm::Prim, &cfg_m);
+        let k = crate::minimum_spanning_forest(&g, Algorithm::Kruskal, &cfg_m);
+        let b = crate::minimum_spanning_forest(&g, Algorithm::Boruvka, &cfg_m);
+        assert_eq!(p.edges, k.edges);
+        assert_eq!(k.edges, b.edges);
+        verify::verify_msf(&g, &p).unwrap();
+    }
+}

@@ -1,0 +1,246 @@
+//! Run statistics: per-iteration step breakdowns (Fig. 2), edge-decay
+//! traces (Table 1), and modeled parallel cost (Figs. 4–6 on hosts with
+//! fewer cores than the paper's testbed).
+
+use msf_primitives::cost::WorkMeter;
+
+/// Wall-clock and modeled cost of one Borůvka-style step within one
+/// iteration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepStats {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Modeled cost: the maximum per-block [`WorkMeter`] cost of the step
+    /// (barriers make a phase as slow as its slowest worker).
+    pub modeled_max: u64,
+    /// Total work across blocks (the `work / p` lower bound's numerator).
+    pub modeled_total: u64,
+}
+
+impl StepStats {
+    /// Assemble from per-block meters plus a wall-clock measurement.
+    pub fn from_meters(seconds: f64, meters: &[WorkMeter]) -> Self {
+        StepStats {
+            seconds,
+            modeled_max: msf_primitives::cost::modeled_time(meters),
+            modeled_total: msf_primitives::cost::total_work(meters),
+        }
+    }
+
+    /// A purely sequential step of the given cost.
+    pub fn serial(seconds: f64, meter: WorkMeter) -> Self {
+        StepStats {
+            seconds,
+            modeled_max: meter.cost(),
+            modeled_total: meter.cost(),
+        }
+    }
+
+    fn merge(&mut self, other: &StepStats) {
+        self.seconds += other.seconds;
+        self.modeled_max += other.modeled_max;
+        self.modeled_total += other.modeled_total;
+    }
+}
+
+/// One Borůvka-style iteration: problem size at entry plus the three step
+/// costs. `directed_edges` is `2m` in the paper's Table 1 terminology.
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    /// Supervertices at iteration entry.
+    pub vertices: usize,
+    /// Directed edge entries at iteration entry (2m).
+    pub directed_edges: usize,
+    /// find-min step.
+    pub find_min: StepStats,
+    /// connect-components step.
+    pub connect: StepStats,
+    /// compact-graph step.
+    pub compact: StepStats,
+}
+
+/// MST-BC behavioral counters, aggregated over all rounds and workers —
+/// the observables behind §4's discussion of tree growth, collisions, and
+/// work stealing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MstBcStats {
+    /// Prim trees started (colors allocated and successfully claimed).
+    pub trees: u64,
+    /// Vertices folded into trees (visited). The remainder were handled by
+    /// the step-3 Borůvka pass.
+    pub visited: u64,
+    /// Growths stopped because the heap yielded a foreign-colored vertex.
+    pub collisions: u64,
+    /// Growths stopped by the maturity check (a foreign-colored neighbor).
+    pub matured: u64,
+    /// Start vertices claimed from another worker's partition.
+    pub steals: u64,
+}
+
+impl std::ops::Add for MstBcStats {
+    type Output = MstBcStats;
+    fn add(self, o: MstBcStats) -> MstBcStats {
+        MstBcStats {
+            trees: self.trees + o.trees,
+            visited: self.visited + o.visited,
+            collisions: self.collisions + o.collisions,
+            matured: self.matured + o.matured,
+            steals: self.steals + o.steals,
+        }
+    }
+}
+
+/// Statistics for a whole MSF run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Algorithm name (paper spelling).
+    pub algorithm: &'static str,
+    /// Logical processor count the run was configured with.
+    pub threads: usize,
+    /// Per-iteration traces (empty for the sequential baselines).
+    pub iterations: Vec<IterationStats>,
+    /// End-to-end wall-clock seconds.
+    pub total_seconds: f64,
+    /// End-to-end modeled parallel cost (sum over phases of each phase's
+    /// slowest block). Divide a 1-thread run's value by a p-thread run's
+    /// value for the modeled speedup curve.
+    pub modeled_cost: u64,
+    /// MST-BC behavioral counters (None for every other algorithm).
+    pub mstbc: Option<MstBcStats>,
+}
+
+impl RunStats {
+    /// Start a stats record for `algorithm` at width `threads`.
+    pub fn new(algorithm: &'static str, threads: usize) -> Self {
+        RunStats {
+            algorithm,
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// Append an iteration and fold its modeled cost into the total.
+    pub fn push_iteration(&mut self, it: IterationStats) {
+        self.modeled_cost +=
+            it.find_min.modeled_max + it.connect.modeled_max + it.compact.modeled_max;
+        self.iterations.push(it);
+    }
+
+    /// Add cost that is outside the iteration structure (setup, base-case
+    /// solve, recursion plumbing).
+    pub fn add_flat_cost(&mut self, cost: u64) {
+        self.modeled_cost += cost;
+    }
+
+    /// Aggregate step totals across iterations: (find-min, connect, compact)
+    /// — the three stacked segments of the paper's Fig. 2 bars.
+    pub fn step_totals(&self) -> (StepStats, StepStats, StepStats) {
+        let mut fm = StepStats::default();
+        let mut cc = StepStats::default();
+        let mut cg = StepStats::default();
+        for it in &self.iterations {
+            fm.merge(&it.find_min);
+            cc.merge(&it.connect);
+            cg.merge(&it.compact);
+        }
+        (fm, cc, cg)
+    }
+
+    /// The Table 1 trace: `(2m, decrease, %decrease, m/n)` per iteration.
+    pub fn edge_decay_table(&self) -> Vec<EdgeDecayRow> {
+        let mut rows = Vec::with_capacity(self.iterations.len());
+        let mut prev: Option<usize> = None;
+        for (i, it) in self.iterations.iter().enumerate() {
+            let decrease = prev.map(|p| p - it.directed_edges.min(p));
+            rows.push(EdgeDecayRow {
+                iteration: i + 1,
+                directed_edges: it.directed_edges,
+                decrease,
+                percent_decrease: match (prev, decrease) {
+                    (Some(p), Some(d)) if p > 0 => Some(100.0 * d as f64 / p as f64),
+                    _ => None,
+                },
+                density: if it.vertices > 0 {
+                    it.directed_edges as f64 / 2.0 / it.vertices as f64
+                } else {
+                    0.0
+                },
+            });
+            prev = Some(it.directed_edges);
+        }
+        rows
+    }
+}
+
+/// One row of the Table 1 reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeDecayRow {
+    /// Iteration number (1-based, like the paper).
+    pub iteration: usize,
+    /// Size of the directed edge list (the paper's `2m` column).
+    pub directed_edges: usize,
+    /// Absolute decrease vs the previous iteration (`N/A` on the first).
+    pub decrease: Option<usize>,
+    /// Percentage decrease vs the previous iteration.
+    pub percent_decrease: Option<f64>,
+    /// Graph density m/n at iteration entry.
+    pub density: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(max: u64) -> StepStats {
+        StepStats {
+            seconds: 0.1,
+            modeled_max: max,
+            modeled_total: max * 2,
+        }
+    }
+
+    #[test]
+    fn modeled_cost_accumulates_per_iteration() {
+        let mut s = RunStats::new("X", 4);
+        s.push_iteration(IterationStats {
+            vertices: 100,
+            directed_edges: 400,
+            find_min: step(10),
+            connect: step(5),
+            compact: step(20),
+        });
+        s.push_iteration(IterationStats {
+            vertices: 50,
+            directed_edges: 300,
+            find_min: step(8),
+            connect: step(4),
+            compact: step(15),
+        });
+        assert_eq!(s.modeled_cost, 35 + 27);
+        s.add_flat_cost(7);
+        assert_eq!(s.modeled_cost, 69);
+        let (fm, cc, cg) = s.step_totals();
+        assert_eq!(fm.modeled_max, 18);
+        assert_eq!(cc.modeled_max, 9);
+        assert_eq!(cg.modeled_max, 35);
+        assert!((fm.seconds - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_decay_table_matches_paper_layout() {
+        let mut s = RunStats::new("Bor-EL", 1);
+        for (n, m2) in [(100usize, 1000usize), (50, 800), (10, 100)] {
+            s.push_iteration(IterationStats {
+                vertices: n,
+                directed_edges: m2,
+                ..Default::default()
+            });
+        }
+        let rows = s.edge_decay_table();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].decrease, None);
+        assert_eq!(rows[1].decrease, Some(200));
+        assert!((rows[1].percent_decrease.unwrap() - 20.0).abs() < 1e-9);
+        assert!((rows[2].density - 5.0).abs() < 1e-9);
+    }
+}

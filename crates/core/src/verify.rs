@@ -1,0 +1,282 @@
+//! MSF verification.
+//!
+//! With the `(weight, edge id)` total order the minimum spanning forest is
+//! unique, so the strongest check is available cheaply: structural forest
+//! invariants plus exact edge-set equality with a trusted sequential
+//! reference.
+
+use msf_graph::EdgeList;
+use msf_primitives::unionfind::UnionFind;
+
+use crate::MsfResult;
+
+/// Verify that `result` is a minimum spanning forest of `g`.
+///
+/// Checks, in order:
+/// 1. every edge id is valid and used at most once;
+/// 2. the edges are acyclic (union–find accepts every one);
+/// 3. the forest spans: tree count equals the component count of `g`;
+/// 4. the reported weight and component fields are consistent;
+/// 5. the edge set equals the (unique) MSF computed by Kruskal.
+pub fn verify_msf(g: &EdgeList, result: &MsfResult) -> Result<(), String> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+
+    let mut seen = vec![false; m];
+    for &id in &result.edges {
+        let id = id as usize;
+        if id >= m {
+            return Err(format!("edge id {id} out of range (m = {m})"));
+        }
+        if seen[id] {
+            return Err(format!("edge id {id} used twice"));
+        }
+        seen[id] = true;
+    }
+
+    let mut uf = UnionFind::new(n);
+    for &id in &result.edges {
+        let e = g.edge(id);
+        if !uf.union(e.u as usize, e.v as usize) {
+            return Err(format!("edge id {id} closes a cycle"));
+        }
+    }
+
+    let components = msf_graph::validate::component_count(g);
+    if uf.set_count() != components {
+        return Err(format!(
+            "forest has {} trees but the graph has {} components — not spanning",
+            uf.set_count(),
+            components
+        ));
+    }
+    if result.components as usize != components {
+        return Err(format!(
+            "result reports {} components, graph has {components}",
+            result.components
+        ));
+    }
+
+    let weight: f64 = result.edges.iter().map(|&id| g.edge(id).w).sum();
+    if (weight - result.total_weight).abs() > 1e-9 * weight.abs().max(1.0) {
+        return Err(format!(
+            "reported weight {} != recomputed {weight}",
+            result.total_weight
+        ));
+    }
+
+    let reference = crate::seq::kruskal::msf(g);
+    if reference.edges != result.edges {
+        let missing: Vec<u32> = reference
+            .edges
+            .iter()
+            .filter(|id| !result.edges.contains(id))
+            .copied()
+            .take(5)
+            .collect();
+        let extra: Vec<u32> = result
+            .edges
+            .iter()
+            .filter(|id| !reference.edges.contains(id))
+            .copied()
+            .take(5)
+            .collect();
+        return Err(format!(
+            "edge set differs from the unique MSF (missing e.g. {missing:?}, extra e.g. {extra:?})"
+        ));
+    }
+    Ok(())
+}
+
+/// Verify the MSF *without* recomputing a reference forest: structural
+/// checks plus the cycle property — under the `(weight, id)` total order the
+/// claimed forest is THE minimum spanning forest iff it spans and every
+/// non-forest edge is strictly heavier than the maximum edge on the forest
+/// path between its endpoints. O(n log n) build + O(m log n) queries, fully
+/// independent of the Kruskal/Prim/Borůvka implementations.
+pub fn verify_msf_cycle_property(g: &EdgeList, result: &MsfResult) -> Result<(), String> {
+    let n = g.num_vertices();
+
+    // Structural: acyclic + spanning (shared with verify_msf, recomputed
+    // here so this function stands alone).
+    let mut uf = UnionFind::new(n);
+    let mut in_forest = vec![false; g.num_edges()];
+    for &id in &result.edges {
+        if id as usize >= g.num_edges() {
+            return Err(format!("edge id {id} out of range"));
+        }
+        if in_forest[id as usize] {
+            return Err(format!("edge id {id} used twice"));
+        }
+        in_forest[id as usize] = true;
+        let e = g.edge(id);
+        if !uf.union(e.u as usize, e.v as usize) {
+            return Err(format!("edge id {id} closes a cycle"));
+        }
+    }
+    if uf.set_count() != msf_graph::validate::component_count(g) {
+        return Err("forest is not spanning".into());
+    }
+
+    // Cycle property via path-max queries over the claimed forest.
+    let forest: Vec<(u32, u32, msf_graph::EdgeKey)> = result
+        .edges
+        .iter()
+        .map(|&id| {
+            let e = g.edge(id);
+            (e.u, e.v, e.key())
+        })
+        .collect();
+    let pm = msf_graph::pathmax::PathMaxForest::build(n, &forest);
+    for e in g.edges() {
+        if in_forest[e.id as usize] {
+            continue;
+        }
+        match pm.path_max(e.u, e.v) {
+            Some(path_max) if e.key() > path_max => {}
+            Some(path_max) => {
+                return Err(format!(
+                    "non-forest edge {} (key {:?}) is not the maximum of its cycle \
+                     (path max {:?}) — the forest is not minimum",
+                    e.id,
+                    e.key(),
+                    path_max
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "non-forest edge {} connects two forest trees — not spanning",
+                    e.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunStats;
+    use crate::{minimum_spanning_forest, Algorithm, MsfConfig, MsfResult};
+    use msf_graph::generators::{random_graph, GeneratorConfig};
+
+    fn fake_result(edges: Vec<u32>, weight: f64, components: u32) -> MsfResult {
+        MsfResult {
+            edges,
+            total_weight: weight,
+            components,
+            stats: RunStats::default(),
+        }
+    }
+
+    #[test]
+    fn accepts_correct_forest() {
+        let g = random_graph(&GeneratorConfig::with_seed(1), 100, 300);
+        let r = minimum_spanning_forest(&g, Algorithm::Kruskal, &MsfConfig::default());
+        verify_msf(&g, &r).unwrap();
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let r = fake_result(vec![0, 1, 2], 6.0, 0);
+        assert!(verify_msf(&g, &r).unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_non_spanning() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0)]);
+        let r = fake_result(vec![0], 1.0, 2);
+        assert!(verify_msf(&g, &r).unwrap_err().contains("not spanning"));
+    }
+
+    #[test]
+    fn rejects_non_minimum() {
+        // Spanning but picks the heavy edge.
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let r = fake_result(vec![0, 2], 4.0, 1);
+        assert!(verify_msf(&g, &r).unwrap_err().contains("differs"));
+    }
+
+    #[test]
+    fn rejects_bad_ids_and_weights() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0)]);
+        assert!(verify_msf(&g, &fake_result(vec![7], 0.0, 1))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(verify_msf(&g, &fake_result(vec![0, 0], 2.0, 1))
+            .unwrap_err()
+            .contains("twice"));
+        let wrong_weight = fake_result(vec![0, 1], 999.0, 1);
+        assert!(verify_msf(&g, &wrong_weight).unwrap_err().contains("weight"));
+    }
+
+    #[test]
+    fn cycle_property_verifier_accepts_and_rejects() {
+        let g = random_graph(&GeneratorConfig::with_seed(4), 200, 800);
+        let good = minimum_spanning_forest(&g, Algorithm::BorFal, &MsfConfig::default());
+        verify_msf_cycle_property(&g, &good).unwrap();
+
+        // Swap one forest edge for a non-forest edge sharing the cut: the
+        // result spans but is no longer minimum.
+        let non_forest: u32 = (0..g.num_edges() as u32)
+            .find(|id| !good.edges.contains(id))
+            .expect("some non-forest edge exists");
+        let e = g.edge(non_forest);
+        // Find a forest edge on the path between its endpoints by removing
+        // edges until connectivity between e.u and e.v breaks.
+        let mut tampered = good.edges.clone();
+        for i in 0..tampered.len() {
+            let mut attempt = tampered.clone();
+            attempt.remove(i);
+            let mut uf = UnionFind::new(g.num_vertices());
+            for &id in &attempt {
+                let f = g.edge(id);
+                uf.union(f.u as usize, f.v as usize);
+            }
+            if !uf.same(e.u as usize, e.v as usize) {
+                attempt.push(non_forest);
+                attempt.sort_unstable();
+                tampered = attempt;
+                break;
+            }
+        }
+        let bad = MsfResult {
+            edges: tampered,
+            total_weight: 0.0,
+            components: good.components,
+            stats: RunStats::default(),
+        };
+        assert!(
+            verify_msf_cycle_property(&g, &bad).is_err(),
+            "swapped-edge forest must fail the cycle property"
+        );
+    }
+
+    #[test]
+    fn cycle_property_verifier_on_ties() {
+        // All weights equal: only the id order distinguishes forests.
+        let g = EdgeList::from_triples(
+            4,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
+        );
+        let good = minimum_spanning_forest(&g, Algorithm::Kruskal, &MsfConfig::default());
+        verify_msf_cycle_property(&g, &good).unwrap();
+        // The other spanning tree (ids 1,2,3) is spanning but not THE MSF.
+        let bad = MsfResult {
+            edges: vec![1, 2, 3],
+            total_weight: 3.0,
+            components: 1,
+            stats: RunStats::default(),
+        };
+        assert!(verify_msf_cycle_property(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_component_count() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0)]);
+        let r = fake_result(vec![0, 1], 3.0, 5);
+        assert!(verify_msf(&g, &r).unwrap_err().contains("components"));
+    }
+}

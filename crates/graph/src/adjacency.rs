@@ -1,0 +1,152 @@
+//! Cache-friendly adjacency arrays (CSR).
+//!
+//! The paper uses "the more cache-friendly adjacency arrays" (citing Park,
+//! Penner & Prasanna) instead of pointer-linked adjacency lists: one index
+//! array of `n + 1` offsets into flat target/weight/id arrays holding both
+//! directions of every edge.
+
+use crate::edge::Edge;
+use crate::edgelist::EdgeList;
+
+/// Compressed sparse row adjacency structure. Immutable once built; the
+/// Borůvka variants build fresh (smaller) ones per iteration, while Bor-FAL
+/// keeps the original untouched for the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjacencyArray {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    ids: Vec<u32>,
+}
+
+impl AdjacencyArray {
+    /// Build from an edge list (both directions of each edge are laid out).
+    pub fn from_edge_list(g: &EdgeList) -> Self {
+        Self::from_edges(g.num_vertices(), g.edges())
+    }
+
+    /// Build from undirected edges over `0..n` (counting sort by source).
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut counts = vec![0usize; n + 1];
+        for e in edges {
+            counts[e.u as usize] += 1;
+            counts[e.v as usize] += 1;
+        }
+        // counts has n+1 entries with counts[n] == 0, so the exclusive scan
+        // leaves the total in the final slot: counts becomes the offsets.
+        let total = msf_primitives::prefix::exclusive_scan(&mut counts);
+        let offsets = counts;
+        // `cursor` clones the start offsets and advances as rows fill.
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; total];
+        let mut weights = vec![0f64; total];
+        let mut ids = vec![0u32; total];
+        for e in edges {
+            for (src, dst) in [(e.u, e.v), (e.v, e.u)] {
+                let slot = cursor[src as usize];
+                cursor[src as usize] += 1;
+                targets[slot] = dst;
+                weights[slot] = e.w;
+                ids[slot] = e.id;
+            }
+        }
+        AdjacencyArray {
+            offsets,
+            targets,
+            weights,
+            ids,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed entries (2m for an undirected graph).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The row of `v` as parallel slices `(targets, weights, ids)`.
+    #[inline]
+    pub fn row(&self, v: u32) -> (&[u32], &[f64], &[u32]) {
+        let (lo, hi) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        (&self.targets[lo..hi], &self.weights[lo..hi], &self.ids[lo..hi])
+    }
+
+    /// Iterate `(neighbor, weight, edge id)` over `v`'s incident edges.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, f64, u32)> + '_ {
+        let (t, w, i) = self.row(v);
+        t.iter()
+            .zip(w.iter())
+            .zip(i.iter())
+            .map(|((&t, &w), &i)| (t, w, i))
+    }
+
+    /// The row offsets array (length n + 1).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> EdgeList {
+        EdgeList::from_triples(4, vec![(0, 1, 0.5), (1, 2, 1.5), (2, 3, 2.5)])
+    }
+
+    #[test]
+    fn builds_csr_with_both_directions() {
+        let csr = AdjacencyArray::from_edge_list(&path4());
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_directed_edges(), 6);
+        assert_eq!(csr.degree(0), 1);
+        assert_eq!(csr.degree(1), 2);
+        assert_eq!(csr.degree(3), 1);
+        let n1: Vec<_> = csr.neighbors(1).collect();
+        assert_eq!(n1, vec![(0, 0.5, 0), (2, 1.5, 1)]);
+    }
+
+    #[test]
+    fn rows_partition_the_entry_space() {
+        let csr = AdjacencyArray::from_edge_list(&path4());
+        let total: usize = (0..4).map(|v| csr.degree(v)).sum();
+        assert_eq!(total, csr.num_directed_edges());
+        assert_eq!(csr.offsets().first(), Some(&0));
+        assert_eq!(csr.offsets().last(), Some(&6));
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_rows() {
+        let g = EdgeList::from_triples(5, vec![(0, 4, 1.0)]);
+        let csr = AdjacencyArray::from_edge_list(&g);
+        for v in 1..4 {
+            assert_eq!(csr.degree(v), 0);
+            assert_eq!(csr.neighbors(v).count(), 0);
+        }
+        assert_eq!(csr.degree(0), 1);
+        assert_eq!(csr.degree(4), 1);
+    }
+
+    #[test]
+    fn multi_edges_are_kept_distinct() {
+        // Two parallel edges with different weights/ids between 0 and 1.
+        let edges = vec![Edge::new(0, 1, 1.0, 0), Edge::new(0, 1, 2.0, 1)];
+        let csr = AdjacencyArray::from_edges(2, &edges);
+        assert_eq!(csr.degree(0), 2);
+        let ids: Vec<u32> = csr.neighbors(0).map(|(_, _, id)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Dense adjacency-matrix graphs.
+//!
+//! The paper's §2 contrasts its sparse compact-graph designs with the known
+//! efficient dense case: "For dense graphs that can be represented by an
+//! adjacency matrix, JáJá describes a simple and efficient implementation"
+//! of compact-graph. This module supplies that representation so the suite
+//! includes the dense Borůvka baseline (Bor-Dense) the sparse variants are
+//! implicitly measured against — and the one earlier studies like
+//! Dehne & Götz built on.
+//!
+//! The matrix stores, per ordered vertex pair, the minimum-weight edge
+//! between them (weight + input edge id), `f64::INFINITY` marking absence.
+//! Memory is Θ(n²), so construction asserts a sane bound.
+
+use crate::edge::{EdgeKey, OrderedWeight};
+use crate::edgelist::EdgeList;
+
+/// Largest vertex count the dense representation accepts (n² entries of
+/// 12 bytes ≈ 4.8 GB at this bound; realistic dense inputs are far smaller).
+pub const MAX_DENSE_VERTICES: usize = 20_000;
+
+/// Symmetric adjacency matrix of minimum edges between vertex pairs.
+#[derive(Debug, Clone)]
+pub struct DenseGraph {
+    n: usize,
+    /// Row-major weights, `INFINITY` = no edge.
+    w: Vec<f64>,
+    /// Row-major input edge ids (undefined where `w` is infinite).
+    id: Vec<u32>,
+}
+
+impl DenseGraph {
+    /// Build from an edge list; parallel edges collapse to their minimum
+    /// immediately (the matrix can hold only one edge per pair).
+    pub fn from_edge_list(g: &EdgeList) -> Self {
+        let n = g.num_vertices();
+        assert!(
+            n <= MAX_DENSE_VERTICES,
+            "dense representation caps at {MAX_DENSE_VERTICES} vertices"
+        );
+        let mut dense = DenseGraph {
+            n,
+            w: vec![f64::INFINITY; n * n],
+            id: vec![u32::MAX; n * n],
+        };
+        for e in g.edges() {
+            dense.relax(e.u, e.v, e.w, e.id);
+            dense.relax(e.v, e.u, e.w, e.id);
+        }
+        dense
+    }
+
+    /// An empty matrix over `n` vertices (used by compact-graph).
+    pub fn empty(n: usize) -> Self {
+        assert!(
+            n <= MAX_DENSE_VERTICES,
+            "dense representation caps at {MAX_DENSE_VERTICES} vertices"
+        );
+        DenseGraph {
+            n,
+            w: vec![f64::INFINITY; n * n],
+            id: vec![u32::MAX; n * n],
+        }
+    }
+
+    /// Vertex count.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Keep the lighter of the current and offered edge for pair `(a, b)`.
+    #[inline]
+    pub fn relax(&mut self, a: u32, b: u32, w: f64, id: u32) {
+        let slot = a as usize * self.n + b as usize;
+        let incoming = EdgeKey {
+            w: OrderedWeight(w),
+            id,
+        };
+        if self.w[slot].is_infinite() || incoming < self.key_at(slot) {
+            self.w[slot] = w;
+            self.id[slot] = id;
+        }
+    }
+
+    #[inline]
+    fn key_at(&self, slot: usize) -> EdgeKey {
+        EdgeKey {
+            w: OrderedWeight(self.w[slot]),
+            id: self.id[slot],
+        }
+    }
+
+    /// The `(weight, id)` of the edge between `a` and `b`, if present.
+    #[inline]
+    pub fn get(&self, a: u32, b: u32) -> Option<(f64, u32)> {
+        let slot = a as usize * self.n + b as usize;
+        (!self.w[slot].is_infinite()).then(|| (self.w[slot], self.id[slot]))
+    }
+
+    /// The row of vertex `a` as parallel (weights, ids) slices.
+    #[inline]
+    pub fn row(&self, a: u32) -> (&[f64], &[u32]) {
+        let lo = a as usize * self.n;
+        (&self.w[lo..lo + self.n], &self.id[lo..lo + self.n])
+    }
+
+    /// Minimum-key edge of row `a`, skipping the diagonal: returns
+    /// `(column, weight, id)`.
+    pub fn row_min(&self, a: u32) -> Option<(u32, f64, u32)> {
+        let (ws, ids) = self.row(a);
+        let mut best: Option<(EdgeKey, u32)> = None;
+        for (b, (&w, &id)) in ws.iter().zip(ids).enumerate() {
+            if b == a as usize || w.is_infinite() {
+                continue;
+            }
+            let key = EdgeKey {
+                w: OrderedWeight(w),
+                id,
+            };
+            if best.is_none_or(|(bk, _)| key < bk) {
+                best = Some((key, b as u32));
+            }
+        }
+        best.map(|(key, b)| (b, key.w.0, key.id))
+    }
+
+    /// Number of finite off-diagonal entries (2m).
+    pub fn directed_entries(&self) -> usize {
+        self.w.iter().filter(|w| w.is_finite()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> DenseGraph {
+        DenseGraph::from_edge_list(&EdgeList::from_triples(
+            3,
+            vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)],
+        ))
+    }
+
+    #[test]
+    fn builds_symmetric_matrix() {
+        let d = triangle();
+        assert_eq!(d.get(0, 1), Some((1.0, 0)));
+        assert_eq!(d.get(1, 0), Some((1.0, 0)));
+        assert_eq!(d.get(2, 0), Some((3.0, 2)));
+        assert_eq!(d.get(0, 0), None);
+        assert_eq!(d.directed_entries(), 6);
+    }
+
+    #[test]
+    fn row_min_skips_diagonal_and_picks_lightest() {
+        let d = triangle();
+        assert_eq!(d.row_min(0), Some((1, 1.0, 0)));
+        assert_eq!(d.row_min(2), Some((1, 2.0, 1)));
+        let empty = DenseGraph::empty(2);
+        assert_eq!(empty.row_min(0), None);
+    }
+
+    #[test]
+    fn relax_keeps_minimum_under_ties_by_id() {
+        let mut d = DenseGraph::empty(2);
+        d.relax(0, 1, 5.0, 7);
+        d.relax(0, 1, 5.0, 3); // same weight, lower id wins
+        assert_eq!(d.get(0, 1), Some((5.0, 3)));
+        d.relax(0, 1, 4.0, 9);
+        assert_eq!(d.get(0, 1), Some((4.0, 9)));
+        d.relax(0, 1, 6.0, 1); // heavier: ignored
+        assert_eq!(d.get(0, 1), Some((4.0, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "caps at")]
+    fn rejects_oversized_graphs() {
+        DenseGraph::empty(MAX_DENSE_VERTICES + 1);
+    }
+}

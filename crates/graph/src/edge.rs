@@ -1,0 +1,128 @@
+//! Weighted edges and the total order that makes the MSF unique.
+
+/// An undirected weighted edge. `id` is the edge's index in the input graph
+/// and survives every contraction, so algorithm outputs always refer to
+/// input edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+    /// Weight. Must be finite (generators only emit finite weights; the
+    /// builders assert it).
+    pub w: f64,
+    /// Stable input edge id.
+    pub id: u32,
+}
+
+impl Edge {
+    /// Construct an edge, normalizing nothing — direction is meaningful to
+    /// some internal phases.
+    #[inline]
+    pub fn new(u: u32, v: u32, w: f64, id: u32) -> Self {
+        debug_assert!(w.is_finite(), "edge weights must be finite");
+        Edge { u, v, w, id }
+    }
+
+    /// The total-order key of this edge: weight first, input id as the tie
+    /// breaker. With this key the minimum spanning forest is unique even
+    /// when weights collide, which is what lets the test suite demand exact
+    /// edge-set agreement across all algorithms (the paper's proofs assume
+    /// distinct weights w.l.o.g.; this realizes that assumption).
+    #[inline]
+    pub fn key(&self) -> EdgeKey {
+        EdgeKey {
+            w: OrderedWeight(self.w),
+            id: self.id,
+        }
+    }
+
+    /// The endpoint that is not `x` (panics in debug if `x` is neither).
+    #[inline]
+    pub fn other(&self, x: u32) -> u32 {
+        debug_assert!(x == self.u || x == self.v);
+        self.u ^ self.v ^ x
+    }
+}
+
+/// Finite `f64` with a total order. Constructing one from NaN is a logic
+/// error; comparisons would panic in debug builds via the `expect`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderedWeight(pub f64);
+
+impl Eq for OrderedWeight {}
+
+impl PartialOrd for OrderedWeight {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedWeight {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("edge weights are finite, so never NaN")
+    }
+}
+
+/// Total-order edge key `(weight, id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdgeKey {
+    /// Primary: the weight.
+    pub w: OrderedWeight,
+    /// Tie breaker: the stable input edge id.
+    pub id: u32,
+}
+
+impl EdgeKey {
+    /// The key that compares greater than every real edge key.
+    pub const MAX: EdgeKey = EdgeKey {
+        w: OrderedWeight(f64::INFINITY),
+        id: u32::MAX,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_orders_by_weight_then_id() {
+        let a = Edge::new(0, 1, 1.0, 5);
+        let b = Edge::new(2, 3, 1.0, 2);
+        let c = Edge::new(4, 5, 0.5, 9);
+        assert!(c.key() < b.key());
+        assert!(b.key() < a.key());
+        assert_eq!(a.key(), a.key());
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = Edge::new(3, 7, 1.0, 0);
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    fn max_key_dominates() {
+        let e = Edge::new(0, 1, f64::MAX, u32::MAX - 1);
+        assert!(e.key() < EdgeKey::MAX);
+    }
+
+    #[test]
+    fn ordered_weight_sorts_negatives_and_zero() {
+        let mut v = [
+            OrderedWeight(0.0),
+            OrderedWeight(-1.5),
+            OrderedWeight(2.0),
+            OrderedWeight(-0.0),
+        ];
+        v.sort();
+        assert_eq!(v[0], OrderedWeight(-1.5));
+        assert_eq!(v[3], OrderedWeight(2.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! The edge-list graph representation.
+
+use crate::edge::Edge;
+
+/// An undirected weighted graph stored as a flat edge list. Each edge is
+/// stored once; phases that want both directions (Bor-EL's global sort, CSR
+//  construction) mirror internally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeList {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Build from raw `(u, v, w)` triples; edge ids are assigned in order.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range, an edge is a self-loop, or a
+    /// weight is non-finite. (Multi-edges are allowed — Borůvka's
+    /// compact-graph step is *about* merging them — but the generators never
+    /// produce them.)
+    pub fn from_triples(n: usize, triples: impl IntoIterator<Item = (u32, u32, f64)>) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex ids are u32");
+        let edges: Vec<Edge> = triples
+            .into_iter()
+            .enumerate()
+            .map(|(id, (u, v, w))| {
+                assert!((u as usize) < n && (v as usize) < n, "endpoint out of range");
+                assert_ne!(u, v, "self-loops are not valid input edges");
+                assert!(w.is_finite(), "weights must be finite");
+                Edge::new(u, v, w, id as u32)
+            })
+            .collect();
+        assert!(edges.len() <= u32::MAX as usize, "edge ids are u32");
+        EdgeList { n, edges }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges, ids matching their positions.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Look an edge up by its id.
+    #[inline]
+    pub fn edge(&self, id: u32) -> Edge {
+        self.edges[id as usize]
+    }
+
+    /// Density m/n as used throughout the paper's Table 1.
+    pub fn density(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Total weight of all edges (used by tests as a checksum).
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// Mirrored directed copy: every `{u, v}` appears as `(u → v)` and
+    /// `(v → u)`, as the Bor-EL representation requires ("each edge (u,v)
+    /// appearing twice in the list for both directions", §2.1).
+    pub fn to_directed_pairs(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            out.push(*e);
+            out.push(Edge::new(e.v, e.u, e.w, e.id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> EdgeList {
+        EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+    }
+
+    #[test]
+    fn builds_and_exposes_edges() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge(1), Edge::new(1, 2, 2.0, 1));
+        assert_eq!(g.total_weight(), 6.0);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_pairs_mirror() {
+        let g = triangle();
+        let d = g.to_directed_pairs();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d[0], Edge::new(0, 1, 1.0, 0));
+        assert_eq!(d[1], Edge::new(1, 0, 1.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        EdgeList::from_triples(2, vec![(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        EdgeList::from_triples(2, vec![(0, 2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weights() {
+        EdgeList::from_triples(2, vec![(0, 1, f64::NAN)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeList::from_triples(0, vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.density(), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The flexible adjacency list (paper §2.3).
+//!
+//! Bor-FAL's insight: never rewrite edges. The original adjacency arrays
+//! stay intact for the entire run; a supervertex simply *collects* the
+//! original vertices whose adjacency lists belong to it ("a linked list of
+//! adjacency lists"), and a lookup table maps every original vertex to its
+//! current supervertex. Compacting the graph is then a small sort plus
+//! pointer appends, and find-min pays the added cost of translating
+//! endpoints through the table and skipping self-loops on the fly.
+
+use crate::adjacency::AdjacencyArray;
+use crate::edgelist::EdgeList;
+
+/// Flexible adjacency list: immutable base CSR + supervertex membership
+/// lists + the vertex→supervertex lookup table.
+#[derive(Debug, Clone)]
+pub struct FlexAdjacencyList {
+    base: AdjacencyArray,
+    /// members[s] = original vertices folded into supervertex s. The
+    /// "linked list of adjacency lists": each member contributes its intact
+    /// base adjacency array segment.
+    members: Vec<Vec<u32>>,
+    /// label[v] = current supervertex of original vertex v.
+    label: Vec<u32>,
+}
+
+impl FlexAdjacencyList {
+    /// Initialize with every vertex its own supervertex, each pointing at
+    /// exactly one adjacency list (paper Fig. 1b).
+    pub fn new(g: &EdgeList) -> Self {
+        let n = g.num_vertices();
+        FlexAdjacencyList {
+            base: AdjacencyArray::from_edge_list(g),
+            members: (0..n as u32).map(|v| vec![v]).collect(),
+            label: (0..n as u32).collect(),
+        }
+    }
+
+    /// Current number of supervertices.
+    #[inline]
+    pub fn num_supervertices(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The untouched base adjacency structure.
+    #[inline]
+    pub fn base(&self) -> &AdjacencyArray {
+        &self.base
+    }
+
+    /// The supervertex of original vertex `v`.
+    #[inline]
+    pub fn supervertex_of(&self, v: u32) -> u32 {
+        self.label[v as usize]
+    }
+
+    /// The member vertices of supervertex `s`.
+    #[inline]
+    pub fn members(&self, s: u32) -> &[u32] {
+        &self.members[s as usize]
+    }
+
+    /// The full lookup table.
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.label
+    }
+
+    /// Iterate the (translated) incident entries of supervertex `s`:
+    /// `(other_supervertex, weight, edge id)`, with self-loops already
+    /// filtered out — the filtering duty the paper moves into find-min.
+    /// Multi-edges are *not* merged; callers keep the minimum on the fly.
+    pub fn incident(&self, s: u32) -> impl Iterator<Item = (u32, f64, u32)> + '_ {
+        self.members[s as usize].iter().flat_map(move |&v| {
+            self.base
+                .neighbors(v)
+                .map(move |(t, w, id)| (self.label[t as usize], w, id))
+                .filter(move |&(ts, _, _)| ts != s)
+        })
+    }
+
+    /// Compact the graph given the connected-component relabeling of the
+    /// current supervertices: `new_of_old[s]` is the new supervertex of old
+    /// supervertex `s`, with new labels dense in `0..k`.
+    ///
+    /// This is the paper's cheap compact-graph: membership vectors of
+    /// supervertices that merge are appended (moves of `Vec` buffers — the
+    /// pointer operations of Fig. 1c), and the lookup table is rewritten
+    /// through the composition `label[v] ← new_of_old[label[v]]`.
+    pub fn compact(&mut self, new_of_old: &[u32], k: usize) {
+        assert_eq!(new_of_old.len(), self.members.len());
+        let mut new_members: Vec<Vec<u32>> = (0..k).map(|_| Vec::new()).collect();
+        for (old, list) in self.members.drain(..).enumerate() {
+            let tgt = &mut new_members[new_of_old[old] as usize];
+            if tgt.is_empty() {
+                // First contributor: adopt the buffer wholesale (pure move).
+                *tgt = list;
+            } else {
+                tgt.extend_from_slice(&list);
+            }
+        }
+        self.members = new_members;
+        for l in self.label.iter_mut() {
+            *l = new_of_old[*l as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 6-vertex example of the paper's Fig. 1 (0-indexed).
+    fn fig1_graph() -> EdgeList {
+        EdgeList::from_triples(
+            6,
+            vec![
+                (0, 4, 1.0), // v1-v5
+                (0, 1, 2.0), // v1-v2
+                (1, 5, 3.0), // v2-v6
+                (4, 2, 4.0), // v5-v3
+                (2, 3, 5.0), // v3-v4
+                (3, 5, 6.0), // v4-v6
+            ],
+        )
+    }
+
+    #[test]
+    fn initial_state_is_identity() {
+        let f = FlexAdjacencyList::new(&fig1_graph());
+        assert_eq!(f.num_supervertices(), 6);
+        for v in 0..6u32 {
+            assert_eq!(f.supervertex_of(v), v);
+            assert_eq!(f.members(v), &[v]);
+        }
+    }
+
+    #[test]
+    fn compact_merges_membership_like_fig1() {
+        // After one Borůvka iteration on Fig. 1: {v1,v2,v3} and {v4,v5,v6}
+        // i.e. 0-indexed {0,1,2} and {3,4,5}.
+        let mut f = FlexAdjacencyList::new(&fig1_graph());
+        let new_of_old = vec![0, 0, 0, 1, 1, 1];
+        f.compact(&new_of_old, 2);
+        assert_eq!(f.num_supervertices(), 2);
+        let mut m0 = f.members(0).to_vec();
+        m0.sort_unstable();
+        assert_eq!(m0, vec![0, 1, 2]);
+        assert_eq!(f.supervertex_of(4), 1);
+    }
+
+    #[test]
+    fn incident_translates_and_filters_self_loops() {
+        let mut f = FlexAdjacencyList::new(&fig1_graph());
+        f.compact(&[0, 0, 0, 1, 1, 1], 2);
+        // Supervertex 0 = {v1,v2,v3}: the cross edges are v1-v5 (id 0),
+        // v2-v6 (id 2), v5-v3 (id 3), and v3-v4 (id 4); the internal edge
+        // v1-v2 (id 1) must be filtered as a self-loop.
+        let inc: Vec<(u32, f64, u32)> = f.incident(0).collect();
+        let mut ids: Vec<u32> = inc.iter().map(|&(_, _, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2, 3, 4]);
+        assert!(inc.iter().all(|&(s, _, _)| s == 1));
+    }
+
+    #[test]
+    fn repeated_compaction_reaches_single_supervertex() {
+        let mut f = FlexAdjacencyList::new(&fig1_graph());
+        f.compact(&[0, 0, 0, 1, 1, 1], 2);
+        f.compact(&[0, 0], 1);
+        assert_eq!(f.num_supervertices(), 1);
+        assert_eq!(f.incident(0).count(), 0, "everything is a self-loop now");
+        let mut all = f.members(0).to_vec();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,114 @@
+//! Regular and irregular mesh graphs (paper §5.1): the 2D mesh used by
+//! physics simulations and computer vision, and the `2D60` / `3D40`
+//! irregular variants where each potential mesh edge is present with a fixed
+//! probability. All edge weights are uniformly random, as in the paper.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use super::GeneratorConfig;
+use crate::edgelist::EdgeList;
+
+/// Regular `rows × cols` 2D mesh: every vertex connects to its existing
+/// 4-neighborhood; uniform random weights.
+pub fn mesh2d(cfg: &GeneratorConfig, rows: usize, cols: usize) -> EdgeList {
+    mesh2d_random(cfg, rows, cols, 1.0)
+}
+
+/// 2D mesh where each candidate edge is kept with probability `p`
+/// (`p = 0.6` is the paper's `2D60`).
+pub fn mesh2d_random(cfg: &GeneratorConfig, rows: usize, cols: usize, p: f64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&p));
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x2d2d);
+    let mut triples = Vec::with_capacity((2.0 * n as f64 * p) as usize + 16);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen::<f64>() < p {
+                triples.push((id(r, c), id(r, c + 1), rng.gen::<f64>()));
+            }
+            if r + 1 < rows && rng.gen::<f64>() < p {
+                triples.push((id(r, c), id(r + 1, c), rng.gen::<f64>()));
+            }
+        }
+    }
+    EdgeList::from_triples(n, triples)
+}
+
+/// 3D mesh (`x × y × z`) where each candidate edge is kept with probability
+/// `p` (`p = 0.4` is the paper's `3D40`).
+pub fn mesh3d_random(cfg: &GeneratorConfig, x: usize, y: usize, z: usize, p: f64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&p));
+    let n = x * y * z;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x3d3d);
+    let mut triples = Vec::with_capacity((3.0 * n as f64 * p) as usize + 16);
+    let id = |i: usize, j: usize, k: usize| (i * y * z + j * z + k) as u32;
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                if k + 1 < z && rng.gen::<f64>() < p {
+                    triples.push((id(i, j, k), id(i, j, k + 1), rng.gen::<f64>()));
+                }
+                if j + 1 < y && rng.gen::<f64>() < p {
+                    triples.push((id(i, j, k), id(i, j + 1, k), rng.gen::<f64>()));
+                }
+                if i + 1 < x && rng.gen::<f64>() < p {
+                    triples.push((id(i, j, k), id(i + 1, j, k), rng.gen::<f64>()));
+                }
+            }
+        }
+    }
+    EdgeList::from_triples(n, triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{check_simple, component_count};
+
+    #[test]
+    fn regular_mesh_edge_count() {
+        // rows*(cols-1) + (rows-1)*cols horizontal+vertical edges.
+        let g = mesh2d(&GeneratorConfig::with_seed(0), 10, 7);
+        assert_eq!(g.num_vertices(), 70);
+        assert_eq!(g.num_edges(), 10 * 6 + 9 * 7);
+        check_simple(&g).unwrap();
+        assert_eq!(component_count(&g), 1, "a full mesh is connected");
+    }
+
+    #[test]
+    fn degenerate_meshes() {
+        let line = mesh2d(&GeneratorConfig::with_seed(0), 1, 5);
+        assert_eq!(line.num_edges(), 4);
+        let dot = mesh2d(&GeneratorConfig::with_seed(0), 1, 1);
+        assert_eq!(dot.num_edges(), 0);
+    }
+
+    #[test]
+    fn probabilistic_mesh_keeps_roughly_p_fraction() {
+        let full = mesh2d(&GeneratorConfig::with_seed(5), 100, 100).num_edges() as f64;
+        let g = mesh2d_random(&GeneratorConfig::with_seed(5), 100, 100, 0.6);
+        let frac = g.num_edges() as f64 / full;
+        assert!((0.55..0.65).contains(&frac), "kept fraction {frac}");
+        check_simple(&g).unwrap();
+    }
+
+    #[test]
+    fn mesh3d_edge_count_and_fraction() {
+        let full = mesh3d_random(&GeneratorConfig::with_seed(9), 10, 10, 10, 1.0);
+        // 3 * k^2 * (k-1) edges for a k-cube.
+        assert_eq!(full.num_edges(), 3 * 100 * 9);
+        assert_eq!(component_count(&full), 1);
+        let g = mesh3d_random(&GeneratorConfig::with_seed(9), 10, 10, 10, 0.4);
+        let frac = g.num_edges() as f64 / full.num_edges() as f64;
+        assert!((0.34..0.46).contains(&frac), "kept fraction {frac}");
+    }
+
+    #[test]
+    fn zero_probability_gives_empty_graph() {
+        let g = mesh2d_random(&GeneratorConfig::with_seed(1), 20, 20, 0.0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(component_count(&g), 400);
+    }
+}

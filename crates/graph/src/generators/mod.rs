@@ -1,0 +1,80 @@
+//! The paper's input-graph suite (§5.1).
+//!
+//! * [`random_graph`] — `G(n, m)`: m unique random edges, uniform weights
+//!   (the LEDA-style construction the paper describes).
+//! * [`mesh2d`], [`mesh2d_random`], [`mesh3d_random`] — regular and
+//!   irregular meshes; `2D60` keeps each mesh edge with probability 0.6 and
+//!   `3D40` with probability 0.4.
+//! * [`geometric_knn`] — fixed-degree geometric graphs (Moret & Shapiro):
+//!   k nearest neighbors of uniform random points, distance weights.
+//! * [`structured`] — Chung & Condon's degenerate recursive trees
+//!   `str0..str3`, the worst cases for Borůvka-style algorithms.
+
+mod geometric;
+mod mesh;
+mod random;
+mod structured;
+mod weights;
+
+pub use geometric::geometric_knn;
+pub use mesh::{mesh2d, mesh2d_random, mesh3d_random};
+pub use random::random_graph;
+pub use structured::{structured, StructuredKind};
+pub use weights::{assign_weights, WeightScheme};
+
+/// Seeding for reproducible generator output.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// PRNG seed; equal seeds give byte-identical graphs.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Config with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        GeneratorConfig { seed }
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { seed: 0x5EED }
+    }
+}
+
+/// A named instance of every generator class at a common scale — the cross
+/// product the paper's Fig. 3 ranks sequential algorithms over. Used by the
+/// benchmark harness and integration tests.
+pub fn standard_suite(cfg: &GeneratorConfig, n: usize) -> Vec<(String, crate::EdgeList)> {
+    let side = (n as f64).sqrt().round() as usize;
+    let side3 = (n as f64).cbrt().round() as usize;
+    vec![
+        ("random-2n".into(), random_graph(cfg, n, 2 * n)),
+        ("random-6n".into(), random_graph(cfg, n, 6 * n)),
+        ("mesh".into(), mesh2d(cfg, side, side)),
+        ("2D60".into(), mesh2d_random(cfg, side, side, 0.6)),
+        ("3D40".into(), mesh3d_random(cfg, side3, side3, side3, 0.4)),
+        ("geometric-k6".into(), geometric_knn(cfg, n, 6)),
+        ("str0".into(), structured(cfg, StructuredKind::Str0, n)),
+        ("str1".into(), structured(cfg, StructuredKind::Str1, n)),
+        ("str2".into(), structured(cfg, StructuredKind::Str2, n)),
+        ("str3".into(), structured(cfg, StructuredKind::Str3, n)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_is_complete_and_valid() {
+        let cfg = GeneratorConfig::with_seed(3);
+        let suite = standard_suite(&cfg, 256);
+        assert_eq!(suite.len(), 10);
+        for (name, g) in &suite {
+            assert!(g.num_vertices() > 0, "{name} empty");
+            assert!(g.num_edges() > 0, "{name} has no edges");
+            crate::validate::check_simple(g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Random graphs G(n, m): m unique edges added to the vertex set at random,
+//! uniformly random weights — the construction "several software packages
+//! generate random graphs this way, including LEDA" (paper §5.1).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use super::GeneratorConfig;
+use crate::edgelist::EdgeList;
+
+/// Generate a random graph with exactly `m` distinct undirected edges (no
+/// self-loops, no parallel edges) and weights uniform in `[0, 1)`.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of vertex pairs `n * (n - 1) / 2`.
+pub fn random_graph(cfg: &GeneratorConfig, n: usize, m: usize) -> EdgeList {
+    assert!(n >= 2 || m == 0, "cannot place edges on fewer than 2 vertices");
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "requested {m} edges but only {max_edges} pairs exist");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Keys pack (min, max) endpoints into one u64 so uniqueness is a
+    // sort + dedup. Rejection sampling converges fast for the sparse graphs
+    // this suite targets (m ≪ n²); for dense corners fall back to picking
+    // from the full pair enumeration.
+    let mut keys: Vec<u64> = Vec::with_capacity(m + m / 8);
+    if m * 3 >= max_edges {
+        // Dense fallback: enumerate all pairs, partial shuffle, take m.
+        let mut all: Vec<u64> = (0..n as u64)
+            .flat_map(|a| (a + 1..n as u64).map(move |b| (a << 32) | b))
+            .collect();
+        let (picked, _) = all.partial_shuffle(&mut rng, m);
+        keys.extend_from_slice(picked);
+    } else {
+        while keys.len() < m {
+            let need = m - keys.len();
+            // Oversample ~12% to cover duplicates, then dedup.
+            for _ in 0..need + need / 8 + 8 {
+                let a = rng.gen_range(0..n as u64);
+                let b = rng.gen_range(0..n as u64 - 1);
+                let b = if b >= a { b + 1 } else { b }; // avoid self-loop
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                keys.push((lo << 32) | hi);
+            }
+            keys.sort_unstable();
+            keys.dedup();
+            keys.truncate(m);
+        }
+    }
+    let triples = keys.into_iter().map(|k| {
+        let u = (k >> 32) as u32;
+        let v = (k & 0xFFFF_FFFF) as u32;
+        (u, v, rng.gen::<f64>())
+    });
+    EdgeList::from_triples(n, triples.collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_simple;
+
+    #[test]
+    fn exact_edge_count_and_simple() {
+        let cfg = GeneratorConfig::with_seed(1);
+        for (n, m) in [(10usize, 20usize), (100, 300), (1000, 6000)] {
+            let g = random_graph(&cfg, n, m);
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), m);
+            check_simple(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_graph(&GeneratorConfig::with_seed(7), 50, 100);
+        let b = random_graph(&GeneratorConfig::with_seed(7), 50, 100);
+        let c = random_graph(&GeneratorConfig::with_seed(8), 50, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dense_fallback_produces_complete_graph() {
+        let g = random_graph(&GeneratorConfig::with_seed(2), 8, 28);
+        assert_eq!(g.num_edges(), 28);
+        check_simple(&g).unwrap();
+    }
+
+    #[test]
+    fn weights_are_unit_interval() {
+        let g = random_graph(&GeneratorConfig::with_seed(3), 100, 500);
+        assert!(g.edges().iter().all(|e| (0.0..1.0).contains(&e.w)));
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs exist")]
+    fn rejects_impossible_edge_count() {
+        random_graph(&GeneratorConfig::with_seed(0), 4, 7);
+    }
+
+    #[test]
+    fn zero_edges_allowed() {
+        let g = random_graph(&GeneratorConfig::with_seed(0), 5, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

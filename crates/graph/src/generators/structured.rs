@@ -1,0 +1,197 @@
+//! Chung & Condon's structured graphs (paper §5.1): degenerate inputs — the
+//! graph is already a tree — whose recursive structure dictates exactly how
+//! Borůvka iterations contract, making them worst cases for the Borůvka
+//! variants (Fig. 6 shows only MST-BC beats sequential on them).
+//!
+//! The paper gives one-line definitions; this module realizes them level by
+//! level. At level ℓ the current "units" (supervertices after ℓ Borůvka
+//! iterations, each represented by one original vertex) are grouped, and
+//! edges with weights in `[ℓ, ℓ+1)` are laid between group members so the
+//! next Borůvka iteration contracts every group. Weights grow with the
+//! level, so each iteration's minimum-edge choices are confined to its own
+//! level's edges.
+//!
+//! * `str0` — units pair up: n halves each iteration, maximizing the
+//!   iteration count (the Borůvka worst case in iterations).
+//! * `str1` — √n units form a linear chain (weights increasing along the
+//!   chain, so the chain hooks into one star and contracts in one
+//!   iteration).
+//! * `str2` — half the units form one chain, the other half form pairs.
+//! * `str3` — √n units form a complete binary tree (weights increase with
+//!   depth, so every unit hooks toward the root).
+
+use super::GeneratorConfig;
+use crate::edgelist::EdgeList;
+
+/// Which structured family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructuredKind {
+    /// Pairs each level.
+    Str0,
+    /// Chains of √n units each level.
+    Str1,
+    /// One chain of n/2 units plus n/4 pairs each level.
+    Str2,
+    /// Complete binary trees of √n units each level.
+    Str3,
+}
+
+/// Generate a structured graph with `n` vertices (a tree with `n - 1`
+/// edges). The `cfg` seed only perturbs weights *within* a level, never the
+/// level ordering that defines the family.
+pub fn structured(cfg: &GeneratorConfig, kind: StructuredKind, n: usize) -> EdgeList {
+    assert!(n >= 1);
+    let mut units: Vec<u32> = (0..n as u32).collect();
+    let mut triples: Vec<(u32, u32, f64)> = Vec::with_capacity(n.saturating_sub(1));
+    let mut level = 0usize;
+    // Tiny deterministic intra-level jitter keyed by the seed: keeps weights
+    // distinct across runs with different seeds without reordering levels.
+    let jitter = (cfg.seed % 997) as f64 / 997_000.0;
+    while units.len() > 1 {
+        let k = units.len();
+        let mut next: Vec<u32> = Vec::with_capacity(k / 2 + 1);
+        // Weight of the i-th edge laid at this level: strictly increasing
+        // within the level, always inside [level, level + 1).
+        let mut laid = 0usize;
+        let w = |laid: &mut usize| {
+            let v = level as f64 + (*laid + 1) as f64 / (k + 2) as f64 + jitter;
+            *laid += 1;
+            v
+        };
+        match kind {
+            StructuredKind::Str0 => {
+                let mut i = 0;
+                while i + 1 < k {
+                    triples.push((units[i], units[i + 1], w(&mut laid)));
+                    next.push(units[i]);
+                    i += 2;
+                }
+                if i < k {
+                    // Odd unit: chain it into the last pair so the level
+                    // still halves (n need not be a power of two).
+                    triples.push((units[i - 2], units[i], w(&mut laid)));
+                }
+            }
+            StructuredKind::Str1 => {
+                let g = (k as f64).sqrt().round().max(2.0) as usize;
+                for chunk in units.chunks(g) {
+                    for pair in chunk.windows(2) {
+                        triples.push((pair[0], pair[1], w(&mut laid)));
+                    }
+                    next.push(chunk[0]);
+                }
+            }
+            StructuredKind::Str2 => {
+                let half = k / 2;
+                // First half: one chain.
+                if half >= 2 {
+                    for pair in units[..half].windows(2) {
+                        triples.push((pair[0], pair[1], w(&mut laid)));
+                    }
+                }
+                if half >= 1 {
+                    next.push(units[0]);
+                }
+                // Second half: pairs.
+                let mut i = half;
+                while i + 1 < k {
+                    triples.push((units[i], units[i + 1], w(&mut laid)));
+                    next.push(units[i]);
+                    i += 2;
+                }
+                if i < k {
+                    if let Some(&anchor) = next.last() {
+                        triples.push((anchor, units[i], w(&mut laid)));
+                    } else {
+                        next.push(units[i]);
+                    }
+                }
+            }
+            StructuredKind::Str3 => {
+                let g = (k as f64).sqrt().round().max(2.0) as usize;
+                for chunk in units.chunks(g) {
+                    // Complete binary tree over the chunk, heap-indexed;
+                    // parent edges are laid in BFS order so weight grows
+                    // with depth.
+                    for (idx, &child) in chunk.iter().enumerate().skip(1) {
+                        let parent = chunk[(idx - 1) / 2];
+                        triples.push((parent, child, w(&mut laid)));
+                    }
+                    next.push(chunk[0]);
+                }
+            }
+        }
+        assert!(next.len() < k, "level {level} failed to shrink ({k} units)");
+        units = next;
+        level += 1;
+    }
+    EdgeList::from_triples(n, triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{check_simple, component_count};
+
+    #[test]
+    fn all_kinds_are_spanning_trees() {
+        for kind in [
+            StructuredKind::Str0,
+            StructuredKind::Str1,
+            StructuredKind::Str2,
+            StructuredKind::Str3,
+        ] {
+            for n in [1usize, 2, 3, 17, 64, 100, 1024] {
+                let g = structured(&GeneratorConfig::with_seed(1), kind, n);
+                assert_eq!(g.num_vertices(), n, "{kind:?} n={n}");
+                assert_eq!(g.num_edges(), n - 1, "{kind:?} n={n} must be a tree");
+                check_simple(&g).unwrap_or_else(|e| panic!("{kind:?} n={n}: {e}"));
+                assert_eq!(component_count(&g), 1, "{kind:?} n={n} must be connected");
+            }
+        }
+    }
+
+    #[test]
+    fn str0_weights_increase_with_level() {
+        // With n = 2^k, exactly n/2 edges carry weights < 1 (level 0),
+        // n/4 in [1, 2), etc.
+        let n = 256;
+        let g = structured(&GeneratorConfig::with_seed(0), StructuredKind::Str0, n);
+        for lvl in 0..8 {
+            let count = g
+                .edges()
+                .iter()
+                .filter(|e| e.w >= lvl as f64 && e.w < (lvl + 1) as f64)
+                .count();
+            assert_eq!(count, n >> (lvl + 1), "level {lvl}");
+        }
+    }
+
+    #[test]
+    fn str0_takes_log_n_levels() {
+        let g = structured(&GeneratorConfig::with_seed(0), StructuredKind::Str0, 1024);
+        let max_level = g.edges().iter().map(|e| e.w as usize).max().unwrap();
+        assert_eq!(max_level, 9, "1024 vertices need 10 pairing levels");
+    }
+
+    #[test]
+    fn str1_uses_far_fewer_levels_than_str0() {
+        let g = structured(&GeneratorConfig::with_seed(0), StructuredKind::Str1, 1024);
+        let max_level = g.edges().iter().map(|e| e.w as usize).max().unwrap();
+        assert!(max_level <= 4, "chains of sqrt(n) should need ~loglog levels, got {max_level}");
+    }
+
+    #[test]
+    fn deterministic_and_seed_jittered() {
+        let a = structured(&GeneratorConfig::with_seed(5), StructuredKind::Str2, 100);
+        let b = structured(&GeneratorConfig::with_seed(5), StructuredKind::Str2, 100);
+        let c = structured(&GeneratorConfig::with_seed(6), StructuredKind::Str2, 100);
+        assert_eq!(a, b);
+        // Same topology, different jitter.
+        assert_eq!(a.num_edges(), c.num_edges());
+        assert_ne!(
+            a.edges()[0].w, c.edges()[0].w,
+            "seed should perturb weights"
+        );
+    }
+}

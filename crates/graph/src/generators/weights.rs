@@ -1,0 +1,135 @@
+//! Edge-weight assignment schemes.
+//!
+//! The paper stresses that "Density of the graphs is not the only
+//! determining factor of the performance ranking of the three sequential
+//! algorithms. Different assignment of edge weights is also important"
+//! (§5.2, Fig. 3). This module re-weights any generated topology so the
+//! harness can sweep that axis too.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::edgelist::EdgeList;
+
+/// How edge weights are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// Uniform in [0, 1) — the paper's default everywhere.
+    Uniform,
+    /// Uniform integers in `0..range`, cast to f64: dense ties, stressing
+    /// the tie-breaking total order and Kruskal's sort (few distinct keys).
+    SmallIntegers {
+        /// Number of distinct weight values.
+        range: u32,
+    },
+    /// Exponentially distributed (heavy head of tiny weights): favors
+    /// Prim/Borůvka, whose choices localize to light edges early.
+    Exponential,
+    /// 90% light / 10% ×1000-heavy: models networks with a slow backbone.
+    Bimodal,
+}
+
+impl WeightScheme {
+    /// Short harness label.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightScheme::Uniform => "uniform",
+            WeightScheme::SmallIntegers { .. } => "small-int",
+            WeightScheme::Exponential => "exponential",
+            WeightScheme::Bimodal => "bimodal",
+        }
+    }
+
+    fn draw(self, rng: &mut StdRng) -> f64 {
+        match self {
+            WeightScheme::Uniform => rng.gen(),
+            WeightScheme::SmallIntegers { range } => f64::from(rng.gen_range(0..range.max(1))),
+            WeightScheme::Exponential => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -u.ln()
+            }
+            WeightScheme::Bimodal => {
+                let base: f64 = rng.gen();
+                if rng.gen::<f64>() < 0.1 {
+                    base * 1000.0
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+/// Re-draw every weight of `g` under `scheme`, keeping the topology and the
+/// edge order (so ids — and therefore tie-breaking structure — carry over).
+pub fn assign_weights(g: &EdgeList, scheme: WeightScheme, seed: u64) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e19);
+    let triples: Vec<(u32, u32, f64)> = g
+        .edges()
+        .iter()
+        .map(|e| (e.u, e.v, scheme.draw(&mut rng)))
+        .collect();
+    EdgeList::from_triples(g.num_vertices(), triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_graph, GeneratorConfig};
+
+    fn base() -> EdgeList {
+        random_graph(&GeneratorConfig::with_seed(8), 200, 800)
+    }
+
+    #[test]
+    fn topology_is_preserved() {
+        let g = base();
+        for scheme in [
+            WeightScheme::Uniform,
+            WeightScheme::SmallIntegers { range: 4 },
+            WeightScheme::Exponential,
+            WeightScheme::Bimodal,
+        ] {
+            let h = assign_weights(&g, scheme, 1);
+            assert_eq!(h.num_edges(), g.num_edges(), "{scheme:?}");
+            for (a, b) in g.edges().iter().zip(h.edges()) {
+                assert_eq!((a.u, a.v, a.id), (b.u, b.v, b.id));
+            }
+        }
+    }
+
+    #[test]
+    fn small_integers_produce_many_ties() {
+        let h = assign_weights(&base(), WeightScheme::SmallIntegers { range: 3 }, 2);
+        let mut distinct: Vec<u64> = h.edges().iter().map(|e| e.w.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 3);
+        assert!(h.edges().iter().all(|e| e.w >= 0.0 && e.w <= 2.0));
+    }
+
+    #[test]
+    fn exponential_is_positive_and_skewed() {
+        let h = assign_weights(&base(), WeightScheme::Exponential, 3);
+        assert!(h.edges().iter().all(|e| e.w > 0.0 && e.w.is_finite()));
+        let below_one = h.edges().iter().filter(|e| e.w < 1.0).count();
+        // exp(1) has P(X < 1) ≈ 0.63.
+        assert!(below_one > h.num_edges() / 2);
+    }
+
+    #[test]
+    fn bimodal_has_a_heavy_tail() {
+        let h = assign_weights(&base(), WeightScheme::Bimodal, 4);
+        let heavy = h.edges().iter().filter(|e| e.w > 10.0).count();
+        let frac = heavy as f64 / h.num_edges() as f64;
+        assert!((0.03..0.2).contains(&frac), "heavy fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = base();
+        let a = assign_weights(&g, WeightScheme::Exponential, 9);
+        let b = assign_weights(&g, WeightScheme::Exponential, 9);
+        assert_eq!(a, b);
+    }
+}

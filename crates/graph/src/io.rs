@@ -1,0 +1,266 @@
+//! DIMACS-style graph I/O.
+//!
+//! The 9th DIMACS shortest-path format adapted to undirected weighted
+//! graphs, as the original `hpc.ece.unm.edu` release consumed:
+//!
+//! ```text
+//! c comment lines
+//! p sp <n> <m>
+//! a <u> <v> <w>        (1-indexed endpoints, one line per undirected edge)
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::edgelist::EdgeList;
+
+/// Write `g` in DIMACS format.
+pub fn write_dimacs(g: &EdgeList, mut out: impl Write) -> std::io::Result<()> {
+    writeln!(out, "c msf-suite graph")?;
+    writeln!(out, "p sp {} {}", g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(out, "a {} {} {}", e.u + 1, e.v + 1, e.w)?;
+    }
+    Ok(())
+}
+
+/// Parse a DIMACS graph. Edge ids are assigned in file order.
+pub fn read_dimacs(input: impl BufRead) -> std::io::Result<EdgeList> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut n: Option<usize> = None;
+    let mut m = 0usize;
+    let mut triples: Vec<(u32, u32, f64)> = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                let _kind = tok.next().ok_or_else(|| bad("p line missing kind"))?;
+                let nv: usize = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("p line missing n"))?;
+                m = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("p line missing m"))?;
+                n = Some(nv);
+                triples.reserve(m);
+            }
+            Some("a") => {
+                let u: u32 = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("a line missing u"))?;
+                let v: u32 = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("a line missing v"))?;
+                let w: f64 = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("a line missing weight"))?;
+                if u == 0 || v == 0 {
+                    return Err(bad("DIMACS vertices are 1-indexed"));
+                }
+                triples.push((u - 1, v - 1, w));
+            }
+            Some(other) => return Err(bad(&format!("unknown line kind {other:?}"))),
+        }
+    }
+    let n = n.ok_or_else(|| bad("missing p line"))?;
+    if triples.len() != m {
+        return Err(bad(&format!("p line declared {m} edges, found {}", triples.len())));
+    }
+    Ok(EdgeList::from_triples(n, triples))
+}
+
+/// Write `g` in METIS adjacency format with edge weights:
+///
+/// ```text
+/// <n> <m> 001
+/// <nbr> <w*SCALE> <nbr> <w*SCALE> …     (line i = neighbors of vertex i, 1-indexed)
+/// ```
+///
+/// METIS weights are integers; weights are scaled by `weight_scale` and
+/// rounded, so exact roundtrips need weights that are multiples of
+/// `1/weight_scale`.
+pub fn write_metis(g: &EdgeList, weight_scale: f64, mut out: impl Write) -> std::io::Result<()> {
+    let csr = crate::adjacency::AdjacencyArray::from_edge_list(g);
+    writeln!(out, "{} {} 001", g.num_vertices(), g.num_edges())?;
+    for v in 0..g.num_vertices() as u32 {
+        let mut first = true;
+        for (t, w, _) in csr.neighbors(v) {
+            if !first {
+                write!(out, " ")?;
+            }
+            write!(out, "{} {}", t + 1, (w * weight_scale).round() as i64)?;
+            first = false;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Parse a METIS adjacency file (weighted, fmt `001` or `1`). Each
+/// undirected edge must appear in both endpoint lines; duplicates collapse.
+pub fn read_metis(input: impl BufRead, weight_scale: f64) -> std::io::Result<EdgeList> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut lines = input.lines();
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break t.to_string();
+                }
+            }
+            None => return Err(bad("missing METIS header")),
+        }
+    };
+    let mut tok = header.split_whitespace();
+    let n: usize = tok
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("header missing n"))?;
+    let m: usize = tok
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("header missing m"))?;
+    match tok.next() {
+        None | Some("001") | Some("1") => {}
+        Some(other) => return Err(bad(&format!("unsupported METIS fmt {other:?}"))),
+    }
+
+    let mut triples: Vec<(u32, u32, f64)> = Vec::with_capacity(m);
+    let mut v = 0u32;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if v as usize >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(bad("more adjacency lines than vertices"));
+        }
+        let mut tok = t.split_whitespace();
+        while let Some(nbr) = tok.next() {
+            let u: u32 = nbr.parse().map_err(|_| bad("bad neighbor id"))?;
+            let w: i64 = tok
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad("neighbor missing weight"))?;
+            if u == 0 || u as usize > n {
+                return Err(bad("neighbor id out of range (1-indexed)"));
+            }
+            // Keep each undirected edge once (from its lower endpoint).
+            if v < u - 1 {
+                triples.push((v, u - 1, w as f64 / weight_scale));
+            }
+        }
+        v += 1;
+    }
+    if (v as usize) != n {
+        return Err(bad(&format!("expected {n} adjacency lines, got {v}")));
+    }
+    if triples.len() != m {
+        return Err(bad(&format!(
+            "header declared {m} edges, found {}",
+            triples.len()
+        )));
+    }
+    Ok(EdgeList::from_triples(n, triples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_graph, GeneratorConfig};
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = random_graph(&GeneratorConfig::with_seed(12), 40, 90);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let back = read_dimacs(&buf[..]).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "c hello\n\np sp 3 2\na 1 2 0.5\nc mid comment\na 2 3 1.5\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge(1).w, 1.5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_dimacs("a 1 2 0.5\n".as_bytes()).is_err(), "missing p line");
+        assert!(read_dimacs("p sp 3 1\n".as_bytes()).is_err(), "edge count mismatch");
+        assert!(read_dimacs("p sp 3 1\na 0 2 1.0\n".as_bytes()).is_err(), "0-indexed vertex");
+        assert!(read_dimacs("q sp 3 1\n".as_bytes()).is_err(), "unknown line kind");
+        assert!(read_dimacs("p sp 3 1\na 1 2\n".as_bytes()).is_err(), "missing weight");
+    }
+
+    #[test]
+    fn metis_roundtrip_with_integer_weights() {
+        // Weights that are multiples of 1/1000 survive the integer scaling.
+        let base = random_graph(&GeneratorConfig::with_seed(21), 30, 80);
+        let triples: Vec<(u32, u32, f64)> = base
+            .edges()
+            .iter()
+            .map(|e| (e.u, e.v, (e.w * 1000.0).round() / 1000.0))
+            .collect();
+        let g = EdgeList::from_triples(30, triples);
+        let mut buf = Vec::new();
+        write_metis(&g, 1000.0, &mut buf).unwrap();
+        let back = read_metis(&buf[..], 1000.0).unwrap();
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
+        // Edge sets match as (min, max, weight) triples.
+        let canon = |g: &EdgeList| {
+            let mut v: Vec<(u32, u32, u64)> = g
+                .edges()
+                .iter()
+                .map(|e| (e.u.min(e.v), e.u.max(e.v), e.w.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(canon(&g), canon(&back));
+    }
+
+    #[test]
+    fn metis_parses_comments_and_rejects_garbage() {
+        let text = "% comment\n3 2 001\n2 5 3 7\n1 5\n1 7\n";
+        let g = read_metis(text.as_bytes(), 1.0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(read_metis("3 2 011\n".as_bytes(), 1.0).is_err(), "vertex weights unsupported");
+        assert!(read_metis("".as_bytes(), 1.0).is_err(), "empty file");
+        assert!(
+            read_metis("2 1 001\n2 5\n1 5\n3 1\n".as_bytes(), 1.0).is_err(),
+            "too many lines"
+        );
+        assert!(
+            read_metis("2 1 001\n0 5\n1 5\n".as_bytes(), 1.0).is_err(),
+            "0-indexed neighbor"
+        );
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = EdgeList::from_triples(4, vec![]);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let back = read_dimacs(&buf[..]).unwrap();
+        assert_eq!(back.num_vertices(), 4);
+        assert_eq!(back.num_edges(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Maximum-weight-on-path queries over a forest (binary lifting).
+//!
+//! The substrate for cycle-property edge filtering, which the paper's §3
+//! analysis motivates ("if we can exclude heavy edges in the early stages
+//! … we may have a more efficient parallel implementation", citing Cole,
+//! Klein & Tarjan's sampling algorithm and Katriel–Sanders–Träff): given a
+//! spanning forest F of a sampled subgraph, a non-forest edge (u, v) can be
+//! discarded iff it is strictly heavier than every edge on the F-path
+//! between u and v.
+//!
+//! Build is O(n log n): BFS roots the forest, then ancestor tables double.
+//! Each query is O(log n) and read-only, so the filtering pass
+//! parallelizes trivially.
+
+use crate::edge::EdgeKey;
+
+const NONE: u32 = u32::MAX;
+
+/// Binary-lifting path-maximum structure over a rooted forest. Maxima are
+/// full [`EdgeKey`]s, so queries are exact under the suite's `(weight, id)`
+/// total order — ties included.
+#[derive(Debug, Clone)]
+pub struct PathMaxForest {
+    /// up[k][v] = 2^k-th ancestor of v (NONE above the root).
+    up: Vec<Vec<u32>>,
+    /// maxw[k][v] = max edge key on the path from v to up[k][v].
+    maxw: Vec<Vec<EdgeKey>>,
+    depth: Vec<u32>,
+    /// Component root of each vertex (identifies connectivity).
+    comp: Vec<u32>,
+}
+
+impl PathMaxForest {
+    /// Build from forest edges `(u, v, key)` over vertices `0..n`.
+    ///
+    /// # Panics
+    /// Panics if the edges contain a cycle.
+    pub fn build(n: usize, edges: &[(u32, u32, EdgeKey)]) -> Self {
+        // Adjacency of the forest.
+        let mut adj: Vec<Vec<(u32, EdgeKey)>> = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            adj[u as usize].push((v, w));
+            adj[v as usize].push((u, w));
+        }
+        let mut parent = vec![NONE; n];
+        let mut pweight = vec![EdgeKey::MAX; n];
+        let mut depth = vec![0u32; n];
+        let mut comp = vec![NONE; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut visited_edges = 0usize;
+        for root in 0..n as u32 {
+            if comp[root as usize] != NONE {
+                continue;
+            }
+            comp[root as usize] = root;
+            queue.push_back(root);
+            while let Some(x) = queue.pop_front() {
+                for &(y, w) in &adj[x as usize] {
+                    if comp[y as usize] != NONE {
+                        continue;
+                    }
+                    comp[y as usize] = root;
+                    parent[y as usize] = x;
+                    pweight[y as usize] = w;
+                    depth[y as usize] = depth[x as usize] + 1;
+                    visited_edges += 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        assert_eq!(visited_edges, edges.len(), "input contained a cycle");
+
+        let levels = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        let mut up = vec![parent];
+        let mut maxw = vec![pweight];
+        for k in 1..levels {
+            let (pu, pw) = (&up[k - 1], &maxw[k - 1]);
+            let mut nu = vec![NONE; n];
+            let mut nw = vec![EdgeKey::MAX; n];
+            for v in 0..n {
+                let mid = pu[v];
+                if mid != NONE {
+                    nu[v] = pu[mid as usize];
+                    nw[v] = if nu[v] != NONE {
+                        pw[v].max(pw[mid as usize])
+                    } else {
+                        pw[v]
+                    };
+                }
+            }
+            up.push(nu);
+            maxw.push(nw);
+        }
+        PathMaxForest {
+            up,
+            maxw,
+            depth,
+            comp,
+        }
+    }
+
+    /// True when `u` and `v` are in the same tree.
+    #[inline]
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        self.comp[u as usize] == self.comp[v as usize]
+    }
+
+    /// Maximum edge key on the forest path between `u` and `v`, or `None`
+    /// when they are in different trees (or `u == v`).
+    pub fn path_max(&self, mut u: u32, mut v: u32) -> Option<EdgeKey> {
+        if u == v || !self.connected(u, v) {
+            return None;
+        }
+        let mut best = EdgeKey {
+            w: crate::edge::OrderedWeight(f64::NEG_INFINITY),
+            id: 0,
+        };
+        // Lift the deeper endpoint.
+        if self.depth[u as usize] < self.depth[v as usize] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        let mut diff = self.depth[u as usize] - self.depth[v as usize];
+        let mut k = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                best = best.max(self.maxw[k][u as usize]);
+                u = self.up[k][u as usize];
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        if u == v {
+            return Some(best);
+        }
+        // Lift both until the parents coincide.
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][u as usize] != self.up[k][v as usize] {
+                best = best.max(self.maxw[k][u as usize]);
+                best = best.max(self.maxw[k][v as usize]);
+                u = self.up[k][u as usize];
+                v = self.up[k][v as usize];
+            }
+        }
+        best = best.max(self.maxw[0][u as usize]);
+        best = best.max(self.maxw[0][v as usize]);
+        Some(best)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::OrderedWeight;
+
+    fn k(w: f64, id: u32) -> EdgeKey {
+        EdgeKey {
+            w: OrderedWeight(w),
+            id,
+        }
+    }
+
+    /// Keyed forest edges from (u, v, w) triples, ids in order.
+    fn keyed(edges: &[(u32, u32, f64)]) -> Vec<(u32, u32, EdgeKey)> {
+        edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, w))| (u, v, k(w, i as u32)))
+            .collect()
+    }
+
+    /// Brute-force path max via DFS for cross-checking.
+    fn brute(n: usize, edges: &[(u32, u32, EdgeKey)], u: u32, v: u32) -> Option<EdgeKey> {
+        let mut adj: Vec<Vec<(u32, EdgeKey)>> = vec![Vec::new(); n];
+        for &(a, b, w) in edges {
+            adj[a as usize].push((b, w));
+            adj[b as usize].push((a, w));
+        }
+        if u == v {
+            return None;
+        }
+        let mut stack = vec![(u, k(f64::NEG_INFINITY, 0))];
+        let mut seen = vec![false; n];
+        seen[u as usize] = true;
+        while let Some((x, mx)) = stack.pop() {
+            for &(y, w) in &adj[x as usize] {
+                if seen[y as usize] {
+                    continue;
+                }
+                let m = mx.max(w);
+                if y == v {
+                    return Some(m);
+                }
+                seen[y as usize] = true;
+                stack.push((y, m));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn path_on_a_chain() {
+        let edges = keyed(&[(0, 1, 1.0), (1, 2, 5.0), (2, 3, 2.0)]);
+        let pm = PathMaxForest::build(4, &edges);
+        assert_eq!(pm.path_max(0, 3), Some(k(5.0, 1)));
+        assert_eq!(pm.path_max(0, 1), Some(k(1.0, 0)));
+        assert_eq!(pm.path_max(2, 3), Some(k(2.0, 2)));
+        assert_eq!(pm.path_max(1, 1), None);
+    }
+
+    #[test]
+    fn ties_resolve_by_id() {
+        // Equal weights: the larger id is the larger key.
+        let edges = keyed(&[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let pm = PathMaxForest::build(4, &edges);
+        assert_eq!(pm.path_max(0, 3), Some(k(1.0, 2)));
+        assert_eq!(pm.path_max(0, 2), Some(k(1.0, 1)));
+    }
+
+    #[test]
+    fn different_trees_are_disconnected() {
+        let edges = keyed(&[(0, 1, 1.0), (2, 3, 2.0)]);
+        let pm = PathMaxForest::build(4, &edges);
+        assert!(!pm.connected(0, 2));
+        assert_eq!(pm.path_max(0, 3), None);
+        assert!(pm.connected(0, 1));
+    }
+
+    #[test]
+    fn star_and_binary_tree() {
+        // Star centered at 0.
+        let star = keyed(
+            &(1..50u32)
+                .map(|v| (0, v, f64::from(v)))
+                .collect::<Vec<_>>(),
+        );
+        let pm = PathMaxForest::build(50, &star);
+        assert_eq!(pm.path_max(3, 7).unwrap().w, OrderedWeight(7.0));
+        assert_eq!(pm.path_max(49, 1).unwrap().w, OrderedWeight(49.0));
+        // Heap-shaped binary tree.
+        let tree = keyed(
+            &(1..31u32)
+                .map(|v| ((v - 1) / 2, v, f64::from(v) * 0.1))
+                .collect::<Vec<_>>(),
+        );
+        let pm = PathMaxForest::build(31, &tree);
+        for (u, v) in [(15u32, 22u32), (7, 8), (0, 30), (29, 30)] {
+            assert_eq!(pm.path_max(u, v), brute(31, &tree, u, v), "({u},{v})");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_forest() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200usize;
+        // Random forest: each vertex v>0 attaches to a random earlier vertex
+        // with probability 0.9 (so several components exist).
+        let mut raw = Vec::new();
+        for v in 1..n as u32 {
+            if rng.gen::<f64>() < 0.9 {
+                raw.push((rng.gen_range(0..v), v, rng.gen::<f64>()));
+            }
+        }
+        let edges = keyed(&raw);
+        let pm = PathMaxForest::build(n, &edges);
+        for _ in 0..500 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            assert_eq!(pm.path_max(u, v), brute(n, &edges, u, v), "({u},{v})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn rejects_cycles() {
+        let edges = keyed(&[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        PathMaxForest::build(3, &edges);
+    }
+}

@@ -1,0 +1,148 @@
+//! Graph transformations used by the harness and tests.
+//!
+//! * [`permute_vertices`] destroys any correlation between vertex id and
+//!   memory locality — generator output tends to be suspiciously
+//!   cache-friendly (mesh rows, geometric grid order), and the paper's SMP
+//!   analysis is all about non-contiguous access, so benches run both
+//!   orderings.
+//! * [`disjoint_union`] builds multi-component inputs from connected ones
+//!   (this suite solves the *forest* problem, which needs such inputs).
+//! * [`overlay`] unions edge sets over a shared vertex set, producing the
+//!   multi-layer networks of the application examples.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::edgelist::EdgeList;
+
+/// Relabel vertices by a random permutation (edge order and ids preserved).
+pub fn permute_vertices(g: &EdgeList, seed: u64) -> EdgeList {
+    let n = g.num_vertices();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e52);
+    perm.shuffle(&mut rng);
+    let triples: Vec<(u32, u32, f64)> = g
+        .edges()
+        .iter()
+        .map(|e| (perm[e.u as usize], perm[e.v as usize], e.w))
+        .collect();
+    EdgeList::from_triples(n, triples)
+}
+
+/// Concatenate graphs into one with disjoint vertex ranges; edge ids are
+/// reassigned in concatenation order.
+pub fn disjoint_union(parts: &[&EdgeList]) -> EdgeList {
+    let n: usize = parts.iter().map(|g| g.num_vertices()).sum();
+    let mut triples = Vec::with_capacity(parts.iter().map(|g| g.num_edges()).sum());
+    let mut offset = 0u32;
+    for g in parts {
+        for e in g.edges() {
+            triples.push((e.u + offset, e.v + offset, e.w));
+        }
+        offset += g.num_vertices() as u32;
+    }
+    EdgeList::from_triples(n, triples)
+}
+
+/// Union the edge sets of graphs over the same vertex count. Parallel edges
+/// across layers are kept (Borůvka's compact merges them); parallel edges
+/// are never produced from a single simple layer.
+pub fn overlay(layers: &[&EdgeList]) -> EdgeList {
+    let n = layers.first().map_or(0, |g| g.num_vertices());
+    assert!(
+        layers.iter().all(|g| g.num_vertices() == n),
+        "overlay layers must share the vertex set"
+    );
+    let mut triples = Vec::with_capacity(layers.iter().map(|g| g.num_edges()).sum());
+    for g in layers {
+        triples.extend(g.edges().iter().map(|e| (e.u, e.v, e.w)));
+    }
+    EdgeList::from_triples(n, triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_graph, GeneratorConfig};
+    use crate::validate::component_count;
+
+    #[test]
+    fn permutation_preserves_structure() {
+        let g = random_graph(&GeneratorConfig::with_seed(4), 100, 300);
+        let h = permute_vertices(&g, 9);
+        assert_eq!(h.num_vertices(), 100);
+        assert_eq!(h.num_edges(), 300);
+        assert_eq!(component_count(&g), component_count(&h));
+        // Weight multiset unchanged.
+        let mut wg: Vec<u64> = g.edges().iter().map(|e| e.w.to_bits()).collect();
+        let mut wh: Vec<u64> = h.edges().iter().map(|e| e.w.to_bits()).collect();
+        wg.sort_unstable();
+        wh.sort_unstable();
+        assert_eq!(wg, wh);
+        // And it actually permuted something.
+        assert_ne!(g, h);
+    }
+
+    #[test]
+    fn permutation_preserves_msf_weight() {
+        // The MSF weight is a graph invariant; ids differ but weight cannot.
+        let g = random_graph(&GeneratorConfig::with_seed(5), 200, 800);
+        let h = permute_vertices(&g, 1);
+        // Tiny Kruskal on triples, independent of msf-core.
+        let weight = |g: &EdgeList| {
+            let mut ids: Vec<u32> = (0..g.num_edges() as u32).collect();
+            ids.sort_by_key(|&id| g.edge(id).key());
+            let mut uf = msf_primitives::unionfind::UnionFind::new(g.num_vertices());
+            ids.iter()
+                .filter(|&&id| {
+                    let e = g.edge(id);
+                    uf.union(e.u as usize, e.v as usize)
+                })
+                .map(|&id| g.edge(id).w)
+                .sum::<f64>()
+        };
+        assert!((weight(&g) - weight(&h)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_union_offsets_components() {
+        let a = random_graph(&GeneratorConfig::with_seed(1), 50, 150);
+        let b = random_graph(&GeneratorConfig::with_seed(2), 70, 200);
+        let u = disjoint_union(&[&a, &b]);
+        assert_eq!(u.num_vertices(), 120);
+        assert_eq!(u.num_edges(), 350);
+        assert_eq!(
+            component_count(&u),
+            component_count(&a) + component_count(&b)
+        );
+        // No cross edges: every edge lives entirely in one range.
+        assert!(u
+            .edges()
+            .iter()
+            .all(|e| (e.u < 50) == (e.v < 50)));
+    }
+
+    #[test]
+    fn overlay_keeps_all_layers() {
+        let a = random_graph(&GeneratorConfig::with_seed(1), 60, 100);
+        let b = random_graph(&GeneratorConfig::with_seed(2), 60, 120);
+        let o = overlay(&[&a, &b]);
+        assert_eq!(o.num_vertices(), 60);
+        assert_eq!(o.num_edges(), 220);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the vertex set")]
+    fn overlay_rejects_mismatched_layers() {
+        let a = random_graph(&GeneratorConfig::with_seed(1), 10, 9);
+        let b = random_graph(&GeneratorConfig::with_seed(2), 11, 9);
+        overlay(&[&a, &b]);
+    }
+
+    #[test]
+    fn empty_unions() {
+        let u = disjoint_union(&[]);
+        assert_eq!(u.num_vertices(), 0);
+        assert_eq!(u.num_edges(), 0);
+    }
+}

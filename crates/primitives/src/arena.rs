@@ -1,0 +1,152 @@
+//! Per-thread bump arenas — the Bor-ALM memory manager.
+//!
+//! The paper's Bor-ALM variant (§2.2) allocates each thread's scratch
+//! structures from a private memory segment instead of the shared system
+//! heap, eliminating contention on the allocator's kernel lock (a real
+//! bottleneck under Solaris 9's single-segment `malloc`). This safe-Rust
+//! equivalent hands out index ranges from pre-reserved per-thread pools of
+//! `u32`/`u64` words; the algorithms address scratch memory through
+//! [`ArenaVec`] handles instead of freshly `Vec`-allocated buffers.
+//!
+//! The arena is deliberately a *bump* allocator: compact-graph allocates a
+//! wave of per-vertex scratch lists, uses them within the iteration, and
+//! releases everything at once with [`Arena::reset`].
+
+/// A growable bump arena of `T` words.
+#[derive(Debug)]
+pub struct Arena<T> {
+    storage: Vec<T>,
+    /// High-water mark of live words (== storage.len() between allocations).
+    allocated: usize,
+}
+
+/// A range handle into an [`Arena`]; resolves to a slice via
+/// [`Arena::slice`] / [`Arena::slice_mut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaVec {
+    start: usize,
+    len: usize,
+}
+
+impl ArenaVec {
+    /// Number of words in the allocation.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length allocations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Copy + Default> Arena<T> {
+    /// Create an arena with `capacity` words pre-reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Arena {
+            storage: Vec::with_capacity(capacity),
+            allocated: 0,
+        }
+    }
+
+    /// Allocate `len` default-initialized words.
+    pub fn alloc(&mut self, len: usize) -> ArenaVec {
+        let start = self.allocated;
+        self.storage.resize(start + len, T::default());
+        self.allocated += len;
+        ArenaVec { start, len }
+    }
+
+    /// Allocate and fill from a slice.
+    pub fn alloc_from(&mut self, data: &[T]) -> ArenaVec {
+        let v = self.alloc(data.len());
+        self.slice_mut(v).copy_from_slice(data);
+        v
+    }
+
+    /// Borrow an allocation immutably.
+    #[inline]
+    pub fn slice(&self, v: ArenaVec) -> &[T] {
+        &self.storage[v.start..v.start + v.len]
+    }
+
+    /// Borrow an allocation mutably.
+    #[inline]
+    pub fn slice_mut(&mut self, v: ArenaVec) -> &mut [T] {
+        &mut self.storage[v.start..v.start + v.len]
+    }
+
+    /// Words currently live.
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.allocated
+    }
+
+    /// Words reserved (capacity survives resets — that is the whole point:
+    /// after the first Borůvka iteration no further system allocation calls
+    /// are made from this thread).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.storage.capacity()
+    }
+
+    /// Release every allocation at once, keeping the reserved capacity.
+    pub fn reset(&mut self) {
+        self.storage.clear();
+        self.allocated = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut a: Arena<u32> = Arena::with_capacity(16);
+        let x = a.alloc(4);
+        let y = a.alloc_from(&[7, 8, 9]);
+        a.slice_mut(x).copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(a.slice(x), &[1, 2, 3, 4]);
+        assert_eq!(a.slice(y), &[7, 8, 9]);
+        assert_eq!(a.used(), 7);
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut a: Arena<u64> = Arena::with_capacity(8);
+        let _ = a.alloc(100);
+        let cap = a.capacity();
+        assert!(cap >= 100);
+        a.reset();
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.capacity(), cap, "reset must not free");
+        let z = a.alloc(50);
+        assert_eq!(a.slice(z).len(), 50);
+        assert!(a.slice(z).iter().all(|&w| w == 0), "fresh words are zeroed");
+    }
+
+    #[test]
+    fn zero_length_allocations() {
+        let mut a: Arena<u32> = Arena::with_capacity(0);
+        let v = a.alloc(0);
+        assert!(v.is_empty());
+        assert_eq!(a.slice(v), &[] as &[u32]);
+    }
+
+    #[test]
+    fn many_allocations_are_disjoint() {
+        let mut a: Arena<u32> = Arena::with_capacity(4);
+        let handles: Vec<ArenaVec> = (0..20).map(|i| a.alloc(i % 5 + 1)).collect();
+        for (i, &h) in handles.iter().enumerate() {
+            for w in a.slice_mut(h).iter_mut() {
+                *w = i as u32;
+            }
+        }
+        for (i, &h) in handles.iter().enumerate() {
+            assert!(a.slice(h).iter().all(|&w| w == i as u32));
+        }
+    }
+}

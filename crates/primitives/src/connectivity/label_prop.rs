@@ -1,0 +1,95 @@
+//! Label-propagation connected components.
+//!
+//! The simplest parallel CC scheme: every vertex repeatedly adopts the
+//! minimum label in its closed neighborhood until no label changes. Rounds
+//! are proportional to component diameter, so it loses badly to
+//! Shiloach–Vishkin on paths — which is exactly why it is here: it is the
+//! baseline the pointer-jumping algorithms are measured against (bench
+//! `prim_connectivity`), mirroring how the connected-components studies the
+//! paper draws its inputs from (Greiner; Hsu–Ramachandran–Dean;
+//! Krishnamurthy et al.) compare their algorithms.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use rayon::prelude::*;
+
+/// Edge lists shorter than this run sequentially.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Connected components by min-label propagation. Returns canonical
+/// per-vertex roots (minimum vertex of each component), like the other
+/// kernels in this module.
+pub fn connected_components(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    if edges.len() < PAR_THRESHOLD {
+        return super::seq::components_union_find(n, edges.iter().copied());
+    }
+    let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        edges.par_iter().for_each(|&(u, v)| {
+            let lu = label[u as usize].load(Ordering::Relaxed);
+            let lv = label[v as usize].load(Ordering::Relaxed);
+            if lu == lv {
+                return;
+            }
+            let (hi, lo) = if lu > lv { (u, lv) } else { (v, lu) };
+            if label[hi as usize].fetch_min(lo, Ordering::Relaxed) > lo {
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+    }
+    let labels: Vec<u32> = label.into_iter().map(AtomicU32::into_inner).collect();
+    // Labels are component-minimal vertex ids already (they only ever
+    // decrease toward the component minimum, and at fixpoint every edge has
+    // equal endpoints' labels); they are exactly the canonical roots.
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::seq::components_union_find;
+    use rand::prelude::*;
+
+    #[test]
+    fn matches_union_find_on_random_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 30_000usize;
+        let edges: Vec<(u32, u32)> = (0..80_000)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        assert_eq!(
+            connected_components(n, &edges),
+            components_union_find(n, edges.iter().copied())
+        );
+    }
+
+    #[test]
+    fn small_inputs_take_sequential_path() {
+        let edges = vec![(0u32, 1u32), (2, 3)];
+        assert_eq!(connected_components(5, &edges), vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn converges_on_long_paths() {
+        // Diameter-stress: a path needs many propagation rounds but must
+        // still land on all-zero labels.
+        let n = 20_000usize;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let roots = connected_components(n, &edges);
+        assert!(roots.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn agrees_with_shiloach_vishkin() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 25_000usize;
+        let edges: Vec<(u32, u32)> = (0..50_000)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        assert_eq!(
+            connected_components(n, &edges),
+            crate::connectivity::sv::connected_components(n, &edges)
+        );
+    }
+}

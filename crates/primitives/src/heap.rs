@@ -1,0 +1,215 @@
+//! Indexed binary min-heap with `decrease-key`.
+//!
+//! Prim's algorithm (the sequential baseline and each concurrent tree of
+//! MST-BC) needs a heap addressed by vertex id so relaxing an edge can lower
+//! an existing entry's key in place. The position map uses an epoch counter,
+//! so [`IndexedHeap::reset`] is O(1); MST-BC resets once per grown tree.
+
+/// Binary min-heap over item ids `0..capacity` with mutable keys.
+#[derive(Debug, Clone)]
+pub struct IndexedHeap<K> {
+    /// Heap array of (key, id), standard implicit binary tree.
+    slots: Vec<(K, u32)>,
+    /// pos[id] = (epoch, index in `slots`); stale epochs mean "absent".
+    pos: Vec<(u32, u32)>,
+    epoch: u32,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl<K: PartialOrd + Copy> IndexedHeap<K> {
+    /// Heap for ids in `0..capacity`; holds no items initially.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity < u32::MAX as usize);
+        IndexedHeap {
+            slots: Vec::new(),
+            pos: vec![(0, ABSENT); capacity],
+            epoch: 1,
+        }
+    }
+
+    /// Remove all items in O(1) (epoch bump; the slot vector is truncated).
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.epoch = self.epoch.checked_add(1).unwrap_or_else(|| {
+            // Epoch wrapped: do the slow full clear once every 2^32 resets.
+            self.pos.fill((0, ABSENT));
+            1
+        });
+    }
+
+    /// Number of items currently in the heap.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no items are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current key of `id`, if present.
+    pub fn key_of(&self, id: u32) -> Option<K> {
+        let (e, i) = self.pos[id as usize];
+        (e == self.epoch && i != ABSENT).then(|| self.slots[i as usize].0)
+    }
+
+    /// True when `id` is queued.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let (e, i) = self.pos[id as usize];
+        e == self.epoch && i != ABSENT
+    }
+
+    /// Insert `id` with `key`, or lower its key if already present with a
+    /// larger one. Returns `true` if the heap changed. Keys are never
+    /// increased (Prim relaxation only ever improves).
+    pub fn insert_or_decrease(&mut self, id: u32, key: K) -> bool {
+        match self.key_of(id) {
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push((key, id));
+                self.pos[id as usize] = (self.epoch, idx);
+                self.sift_up(idx as usize);
+                true
+            }
+            Some(old) if key < old => {
+                let (_, idx) = self.pos[id as usize];
+                self.slots[idx as usize].0 = key;
+                self.sift_up(idx as usize);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Remove and return the minimum (key, id).
+    pub fn extract_min(&mut self) -> Option<(K, u32)> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let top = self.slots[0];
+        self.pos[top.1 as usize].1 = ABSENT;
+        let last = self.slots.pop().expect("non-empty");
+        if !self.slots.is_empty() {
+            self.slots[0] = last;
+            self.pos[last.1 as usize] = (self.epoch, 0);
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Peek at the minimum without removing it.
+    pub fn peek(&self) -> Option<(K, u32)> {
+        self.slots.first().copied()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.slots[i].0 < self.slots[parent].0 {
+                self.swap_slots(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.slots.len() && self.slots[l].0 < self.slots[smallest].0 {
+                smallest = l;
+            }
+            if r < self.slots.len() && self.slots[r].0 < self.slots[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap_slots(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        self.pos[self.slots[a].1 as usize].1 = a as u32;
+        self.pos[self.slots[b].1 as usize].1 = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn extracts_in_order() {
+        let mut h = IndexedHeap::new(10);
+        for (id, k) in [(3u32, 5.0f64), (1, 2.0), (7, 9.0), (0, 1.0)] {
+            assert!(h.insert_or_decrease(id, k));
+        }
+        assert_eq!(h.extract_min(), Some((1.0, 0)));
+        assert_eq!(h.extract_min(), Some((2.0, 1)));
+        assert_eq!(h.extract_min(), Some((5.0, 3)));
+        assert_eq!(h.extract_min(), Some((9.0, 7)));
+        assert_eq!(h.extract_min(), None);
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut h = IndexedHeap::new(4);
+        h.insert_or_decrease(0, 10.0f64);
+        h.insert_or_decrease(1, 5.0);
+        assert!(h.insert_or_decrease(0, 1.0), "decrease accepted");
+        assert!(!h.insert_or_decrease(0, 7.0), "increase rejected");
+        assert_eq!(h.extract_min(), Some((1.0, 0)));
+        assert_eq!(h.key_of(1), Some(5.0));
+    }
+
+    #[test]
+    fn reset_is_cheap_and_complete() {
+        let mut h = IndexedHeap::new(5);
+        for id in 0..5u32 {
+            h.insert_or_decrease(id, f64::from(id));
+        }
+        h.reset();
+        assert!(h.is_empty());
+        assert!(!h.contains(2));
+        assert_eq!(h.extract_min(), None);
+        // Reusable after reset.
+        h.insert_or_decrease(2, 3.5);
+        assert_eq!(h.extract_min(), Some((3.5, 2)));
+    }
+
+    proptest! {
+        /// Heap-sorting arbitrary (id, key) upserts matches a reference model.
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec((0u32..64, 0u64..1000), 1..300)) {
+            let mut h = IndexedHeap::new(64);
+            let mut model: std::collections::HashMap<u32, u64> = Default::default();
+            for (id, key) in ops {
+                h.insert_or_decrease(id, key);
+                let e = model.entry(id).or_insert(u64::MAX);
+                *e = (*e).min(key);
+            }
+            let mut drained = Vec::new();
+            while let Some((k, id)) = h.extract_min() {
+                drained.push((k, id));
+            }
+            // Keys come out in non-decreasing order…
+            prop_assert!(drained.windows(2).all(|w| w[0].0 <= w[1].0));
+            // …and match the model exactly.
+            let mut expect: Vec<(u64, u32)> = model.into_iter().map(|(id, k)| (k, id)).collect();
+            expect.sort_unstable();
+            let mut got = drained.clone();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

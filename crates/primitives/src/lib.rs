@@ -1,0 +1,89 @@
+//! # msf-primitives
+//!
+//! Shared-memory parallel primitives substrate for the MSF algorithm suite,
+//! reproducing the building blocks Bader & Cong's implementation drew from
+//! the SIMPLE methodology (Bader & JáJá 1999) and from Helman & JáJá's SMP
+//! algorithm-engineering work:
+//!
+//! * [`team`] — an SPMD thread team with reusable barriers, the execution
+//!   model every per-processor algorithm in the paper is written against.
+//! * [`prefix`] — sequential and parallel prefix sums and compaction.
+//! * [`sort`] — insertion sort, non-recursive merge sort, and the parallel
+//!   sample sort used by the Bor-EL compact-graph step.
+//! * [`connectivity`] — pointer-jumping components for Borůvka hook forests
+//!   and Shiloach–Vishkin components for arbitrary edge lists.
+//! * [`unionfind`] — sequential union–find (rank + path compression).
+//! * [`heap`] — an indexed binary heap with `decrease-key` for Prim-style
+//!   tree growth.
+//! * [`permutation`] — parallel random permutation (Sanders-style), used by
+//!   MST-BC to guarantee progress with high probability.
+//! * [`arena`] — per-thread bump arenas, the Bor-ALM memory manager.
+//! * [`steal`] — work-stealing vertex partitions (owner takes from the head,
+//!   thieves from the tail), as described in §4 of the paper.
+//! * [`cost`] — per-thread work meters and per-step timers in the spirit of
+//!   the Helman–JáJá SMP cost model (memory accesses + computation), used to
+//!   produce deterministic modeled speedup curves on machines with fewer
+//!   physical cores than the paper's testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod connectivity;
+pub mod cost;
+pub mod heap;
+pub mod permutation;
+pub mod prefix;
+pub mod sort;
+pub mod steal;
+pub mod team;
+pub mod unionfind;
+
+/// Decide how many items of `n` a chunk owned by thread `t` of `p` receives,
+/// handing out the remainder one item at a time to the lowest-ranked threads.
+///
+/// Returns the half-open range `[start, end)` of the `t`-th block.
+#[inline]
+pub fn block_range(n: usize, p: usize, t: usize) -> std::ops::Range<usize> {
+    debug_assert!(p > 0 && t < p);
+    let base = n / p;
+    let rem = n % p;
+    let start = t * base + t.min(rem);
+    let len = base + usize::from(t < rem);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_partition_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 1000, 1001] {
+            for p in 1..=9usize {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for t in 0..p {
+                    let r = block_range(n, p, t);
+                    assert_eq!(r.start, prev_end, "blocks must be contiguous");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(prev_end, n);
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_ranges_are_balanced() {
+        for n in [10usize, 100, 101, 999] {
+            for p in 1..=8usize {
+                let sizes: Vec<usize> = (0..p).map(|t| block_range(n, p, t).len()).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "n={n} p={p} sizes={sizes:?}");
+            }
+        }
+    }
+}

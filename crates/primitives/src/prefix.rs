@@ -1,0 +1,206 @@
+//! Prefix sums (scans) and scan-based compaction.
+//!
+//! Borůvka's `compact-graph` step merges runs of duplicate edges with a
+//! prefix-sum pass (paper §2.1); the parallel variants here follow the
+//! standard chunked two-pass scheme: each thread scans its block, an
+//! exclusive scan over the block totals produces per-block offsets, and a
+//! second pass rewrites each block with its offset added.
+
+use rayon::prelude::*;
+
+/// Minimum input length before the parallel scans fall back to the
+/// sequential code path; below this the fork/join overhead dominates.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// In-place sequential exclusive prefix sum. Returns the total.
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and `8` is returned.
+pub fn exclusive_scan(data: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for x in data.iter_mut() {
+        let v = *x;
+        *x = acc;
+        acc += v;
+    }
+    acc
+}
+
+/// In-place sequential inclusive prefix sum. Returns the total.
+pub fn inclusive_scan(data: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for x in data.iter_mut() {
+        acc += *x;
+        *x = acc;
+    }
+    acc
+}
+
+/// In-place parallel exclusive prefix sum over `chunks` blocks.
+/// Returns the total.
+pub fn par_exclusive_scan(data: &mut [usize], chunks: usize) -> usize {
+    let n = data.len();
+    if n < PAR_THRESHOLD || chunks <= 1 {
+        return exclusive_scan(data);
+    }
+    let chunk = n.div_ceil(chunks);
+    // Pass 1: per-block totals.
+    let mut totals: Vec<usize> = data
+        .par_chunks(chunk)
+        .map(|block| block.iter().sum())
+        .collect();
+    let total = exclusive_scan(&mut totals);
+    // Pass 2: scan each block seeded with its offset.
+    data.par_chunks_mut(chunk)
+        .zip(totals.par_iter())
+        .for_each(|(block, &offset)| {
+            let mut acc = offset;
+            for x in block.iter_mut() {
+                let v = *x;
+                *x = acc;
+                acc += v;
+            }
+        });
+    total
+}
+
+/// Parallel compaction: keep the elements of `data` whose flag is set,
+/// preserving order. This is the scatter phase shared by the compact-graph
+/// implementations.
+pub fn par_filter<T: Copy + Send + Sync>(data: &[T], keep: &[bool], chunks: usize) -> Vec<T> {
+    assert_eq!(data.len(), keep.len());
+    let n = data.len();
+    if n < PAR_THRESHOLD || chunks <= 1 {
+        return data
+            .iter()
+            .zip(keep)
+            .filter(|&(_, &k)| k)
+            .map(|(&x, _)| x)
+            .collect();
+    }
+    let chunk = n.div_ceil(chunks);
+    let mut counts: Vec<usize> = keep
+        .par_chunks(chunk)
+        .map(|block| block.iter().filter(|&&k| k).count())
+        .collect();
+    let total = exclusive_scan(&mut counts);
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    // Each block writes into a disjoint region; build per-block vectors and
+    // splice. (A scatter into a shared uninitialized buffer would need
+    // unsafe, which this crate forbids; the extra copy is one pass.)
+    let parts: Vec<Vec<T>> = data
+        .par_chunks(chunk)
+        .zip(keep.par_chunks(chunk))
+        .map(|(d, k)| {
+            d.iter()
+                .zip(k)
+                .filter(|&(_, &keep)| keep)
+                .map(|(&x, _)| x)
+                .collect()
+        })
+        .collect();
+    for part in parts {
+        out.extend_from_slice(&part);
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+/// Segmented minimum: given sorted segment boundaries (`seg_starts` holding
+/// the first index of each segment plus a final sentinel equal to
+/// `values.len()`), compute for each segment the index of its minimum element
+/// under the provided key extractor.
+pub fn segmented_argmin<T, K, F>(values: &[T], seg_starts: &[usize], key: F) -> Vec<usize>
+where
+    T: Sync,
+    K: PartialOrd + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    assert!(seg_starts.last().is_some_and(|&s| s == values.len()));
+    (0..seg_starts.len() - 1)
+        .into_par_iter()
+        .map(|s| {
+            let (lo, hi) = (seg_starts[s], seg_starts[s + 1]);
+            assert!(lo < hi, "segments must be non-empty");
+            let mut best = lo;
+            let mut best_key = key(&values[lo]);
+            for (i, v) in values.iter().enumerate().take(hi).skip(lo + 1) {
+                let k = key(v);
+                if k < best_key {
+                    best = i;
+                    best_key = k;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_basics() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = exclusive_scan(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+        let mut empty: Vec<usize> = vec![];
+        assert_eq!(exclusive_scan(&mut empty), 0);
+    }
+
+    #[test]
+    fn inclusive_scan_basics() {
+        let mut v = vec![3, 1, 4];
+        let total = inclusive_scan(&mut v);
+        assert_eq!(v, vec![3, 4, 8]);
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn par_scan_matches_sequential() {
+        let n = PAR_THRESHOLD + 137;
+        let base: Vec<usize> = (0..n).map(|i| (i * 2654435761) % 17).collect();
+        let mut seq = base.clone();
+        let seq_total = exclusive_scan(&mut seq);
+        for chunks in [2, 3, 8] {
+            let mut par = base.clone();
+            let par_total = par_exclusive_scan(&mut par, chunks);
+            assert_eq!(par_total, seq_total);
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn par_filter_matches_sequential() {
+        let n = PAR_THRESHOLD + 41;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let keep: Vec<bool> = (0..n).map(|i| i % 3 != 1).collect();
+        let expect: Vec<u64> = data
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| k)
+            .map(|(&x, _)| x)
+            .collect();
+        assert_eq!(par_filter(&data, &keep, 4), expect);
+        assert_eq!(par_filter(&data[..100], &keep[..100], 4).len(), {
+            keep[..100].iter().filter(|&&k| k).count()
+        });
+    }
+
+    #[test]
+    fn segmented_argmin_finds_minima() {
+        let values = vec![5.0f64, 2.0, 7.0, 1.0, 9.0, 3.0];
+        let segs = vec![0, 2, 5, 6];
+        let mins = segmented_argmin(&values, &segs, |&x| x);
+        assert_eq!(mins, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn segmented_argmin_rejects_empty_segment() {
+        let values = vec![1.0f64];
+        let segs = vec![0, 0, 1];
+        segmented_argmin(&values, &segs, |&x| x);
+    }
+}

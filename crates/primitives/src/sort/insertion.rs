@@ -1,0 +1,74 @@
+//! Insertion sort, the short-list workhorse of Bor-AL's per-vertex sorts.
+
+/// Stable in-place insertion sort under a strict `less` predicate.
+///
+/// Quadratic in the worst case but with a tiny constant; the compact-graph
+/// step of Bor-AL applies it to the (overwhelmingly short) per-vertex
+/// adjacency lists, exactly as the paper prescribes.
+pub fn insertion_sort_by<T, F>(data: &mut [T], less: F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> bool,
+{
+    for i in 1..data.len() {
+        let x = data[i];
+        let mut j = i;
+        while j > 0 && less(&x, &data[j - 1]) {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::is_sorted_by;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_small_arrays() {
+        let mut v = vec![3, 1, 2];
+        insertion_sort_by(&mut v, |a, b| a < b);
+        assert_eq!(v, vec![1, 2, 3]);
+
+        let mut empty: Vec<i32> = vec![];
+        insertion_sort_by(&mut empty, |a, b| a < b);
+        assert!(empty.is_empty());
+
+        let mut one = vec![42];
+        insertion_sort_by(&mut one, |a, b| a < b);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn is_stable() {
+        // Sort pairs by first element only; second element records input order.
+        let mut v: Vec<(u8, usize)> = vec![(1, 0), (0, 1), (1, 2), (0, 3), (1, 4)];
+        insertion_sort_by(&mut v, |a, b| a.0 < b.0);
+        assert_eq!(v, vec![(0, 1), (0, 3), (1, 0), (1, 2), (1, 4)]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_sort(mut v in proptest::collection::vec(any::<i64>(), 0..200)) {
+            let mut expect = v.clone();
+            expect.sort();
+            insertion_sort_by(&mut v, |a, b| a < b);
+            prop_assert_eq!(v, expect);
+        }
+
+        #[test]
+        fn output_is_permutation_and_sorted(v in proptest::collection::vec(any::<u32>(), 0..150)) {
+            let mut sorted = v.clone();
+            insertion_sort_by(&mut sorted, |a, b| a < b);
+            prop_assert!(is_sorted_by(&sorted, |a, b| a < b));
+            let mut a = v;
+            let mut b = sorted;
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Parallel bottom-up merge sort.
+//!
+//! The comparison point for sample sort in the ablation benches: p blocks
+//! are sorted independently (with the sequential bottom-up merge sort the
+//! paper favors) and then merged pairwise in log p rounds. Unlike sample
+//! sort it needs no splitter selection and its balance is perfect by
+//! construction, but the final merge rounds have shrinking parallelism —
+//! the trade sample sort exists to avoid.
+
+use rayon::prelude::*;
+
+use super::merge_sort_by;
+
+/// Sort `data` by `key` using `blocks`-way parallel merge sort.
+pub fn par_merge_sort_by_key<T, K, F>(data: Vec<T>, key: F, blocks: usize) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    K: Ord + Copy + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    let blocks = blocks.max(1);
+    if n <= 1 || blocks == 1 {
+        let mut out = data;
+        merge_sort_by(&mut out, |a, b| key(a) < key(b));
+        return out;
+    }
+    // Phase 1: sort each block independently.
+    let mut runs: Vec<Vec<T>> = (0..blocks)
+        .into_par_iter()
+        .map(|t| {
+            let r = crate::block_range(n, blocks, t);
+            let mut block = data[r].to_vec();
+            merge_sort_by(&mut block, |a, b| key(a) < key(b));
+            block
+        })
+        .collect();
+    drop(data);
+    // Phase 2: pairwise merge rounds.
+    while runs.len() > 1 {
+        runs = runs
+            .par_chunks(2)
+            .map(|pair| match pair {
+                [a] => a.clone(),
+                [a, b] => merge_two(a, b, &key),
+                _ => unreachable!("chunks(2)"),
+            })
+            .collect();
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Stable two-way merge (left wins ties).
+fn merge_two<T, K, F>(a: &[T], b: &[T], key: &F) -> Vec<T>
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if key(&b[j]) < key(&a[i]) {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_large_inputs_across_block_counts() {
+        let data: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for blocks in [1, 2, 3, 7, 8] {
+            assert_eq!(
+                par_merge_sort_by_key(data.clone(), |&x| x, blocks),
+                expect,
+                "blocks={blocks}"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_with_payloads() {
+        let data: Vec<(u32, usize)> = (0..10_000).map(|i| ((i % 5) as u32, i)).collect();
+        let sorted = par_merge_sort_by_key(data, |&(k, _)| k, 4);
+        for w in sorted.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert!(par_merge_sort_by_key(Vec::<u32>::new(), |&x| x, 4).is_empty());
+        assert_eq!(par_merge_sort_by_key(vec![9u32], |&x| x, 4), vec![9]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_sort(v in proptest::collection::vec(any::<i32>(), 0..4000),
+                            blocks in 1usize..10) {
+            let mut expect = v.clone();
+            expect.sort();
+            prop_assert_eq!(par_merge_sort_by_key(v, |&x| x, blocks), expect);
+        }
+    }
+}

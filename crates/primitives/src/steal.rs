@@ -1,0 +1,256 @@
+//! Work-stealing vertex partitions for MST-BC.
+//!
+//! The paper (§4): "When a processor completes its partition of n/p
+//! vertices, an unfinished partition is randomly selected, and processing
+//! begins from a decreasing pointer that marks the end of the unprocessed
+//! list." Each partition therefore has an owner cursor advancing from the
+//! front and a thief cursor retreating from the back.
+//!
+//! Both cursors live packed in a single `AtomicU64` (head in the high word,
+//! exclusive tail in the low word) and every claim is one CAS, so the
+//! structure is linearizable: each index is handed out exactly once and none
+//! is lost even when owner and thief race over the final slot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One partition of a global index range, with packed (head, tail) cursors.
+#[derive(Debug)]
+struct Partition {
+    /// high 32 bits: next front index; low 32 bits: one past the last index.
+    cursors: AtomicU64,
+}
+
+#[inline]
+fn pack(head: u32, tail_excl: u32) -> u64 {
+    (u64::from(head) << 32) | u64::from(tail_excl)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+impl Partition {
+    fn new(lo: usize, hi: usize) -> Self {
+        Partition {
+            cursors: AtomicU64::new(pack(lo as u32, hi as u32)),
+        }
+    }
+
+    /// Owner claim: take the next front index.
+    fn take_front(&self) -> Option<usize> {
+        let mut cur = self.cursors.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(cur);
+            if head >= tail {
+                return None;
+            }
+            match self.cursors.compare_exchange_weak(
+                cur,
+                pack(head + 1, tail),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(head as usize),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Thief claim: take the next back index.
+    fn take_back(&self) -> Option<usize> {
+        let mut cur = self.cursors.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(cur);
+            if head >= tail {
+                return None;
+            }
+            match self.cursors.compare_exchange_weak(
+                cur,
+                pack(head, tail - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((tail - 1) as usize),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn looks_empty(&self) -> bool {
+        let (head, tail) = unpack(self.cursors.load(Ordering::Acquire));
+        head >= tail
+    }
+}
+
+/// A `[0, n)` index space split into `p` contiguous partitions with
+/// owner-front / thief-back claiming.
+#[derive(Debug)]
+pub struct StealingPartitions {
+    parts: Vec<Partition>,
+}
+
+impl StealingPartitions {
+    /// Split `0..n` into `p` near-equal contiguous partitions.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "index space is u32-packed");
+        let parts = (0..p.max(1))
+            .map(|t| {
+                let r = crate::block_range(n, p.max(1), t);
+                Partition::new(r.start, r.end)
+            })
+            .collect();
+        StealingPartitions { parts }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Claim the next index for worker `t`: own partition from the front
+    /// first, then steal from the back of others, scanning from a
+    /// caller-provided start offset (pass something random per attempt to
+    /// spread thieves out).
+    pub fn claim(&self, t: usize, steal_start: usize) -> Option<usize> {
+        if let Some(i) = self.parts[t].take_front() {
+            return Some(i);
+        }
+        let p = self.parts.len();
+        for off in 0..p {
+            let victim = (steal_start + off) % p;
+            if victim == t {
+                continue;
+            }
+            if let Some(i) = self.parts[victim].take_back() {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Claim from worker `t`'s own partition only (the no-work-stealing
+    /// ablation of MST-BC).
+    pub fn claim_local(&self, t: usize) -> Option<usize> {
+        self.parts[t].take_front()
+    }
+
+    /// Steal from other partitions' tails only (never from `t`'s own),
+    /// scanning victims from `steal_start`. Lets callers distinguish owned
+    /// claims from steals for instrumentation.
+    pub fn claim_steal_only(&self, t: usize, steal_start: usize) -> Option<usize> {
+        let p = self.parts.len();
+        for off in 0..p {
+            let victim = (steal_start + off) % p;
+            if victim == t {
+                continue;
+            }
+            if let Some(i) = self.parts[victim].take_back() {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// True once every partition is exhausted. Exhaustion is permanent, so a
+    /// `true` answer is stable.
+    pub fn all_done(&self) -> bool {
+        self.parts.iter().all(Partition::looks_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn single_worker_drains_everything_in_order() {
+        let sp = StealingPartitions::new(10, 1);
+        let mut seen = Vec::new();
+        while let Some(i) = sp.claim(0, 0) {
+            seen.push(i);
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(sp.all_done());
+    }
+
+    #[test]
+    fn thief_takes_from_the_back() {
+        let sp = StealingPartitions::new(8, 2);
+        // Worker 1's own partition is 4..8; drain it, then it must steal
+        // 0..4 from the BACK (3 first).
+        for expect in 4..8 {
+            assert_eq!(sp.claim(1, 0), Some(expect));
+        }
+        assert_eq!(sp.claim(1, 0), Some(3));
+        assert_eq!(sp.claim(1, 0), Some(2));
+        // Owner still takes from its own front.
+        assert_eq!(sp.claim(0, 1), Some(0));
+        assert_eq!(sp.claim(0, 1), Some(1));
+        assert_eq!(sp.claim(0, 1), None);
+        assert!(sp.all_done());
+    }
+
+    #[test]
+    fn claims_are_unique_and_complete_sequentially_interleaved() {
+        let n = 1000;
+        let p = 4;
+        let sp = StealingPartitions::new(n, p);
+        let mut seen = HashSet::new();
+        let mut active = true;
+        while active {
+            active = false;
+            for t in 0..p {
+                if let Some(i) = sp.claim(t, t * 13 + 1) {
+                    assert!(seen.insert(i), "index {i} claimed twice");
+                    active = true;
+                }
+            }
+        }
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn concurrent_claims_are_exactly_once() {
+        let n = 50_000;
+        let p = 8;
+        let sp = StealingPartitions::new(n, p);
+        let claimed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..p {
+                let sp = &sp;
+                let claimed = &claimed;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut tries = t;
+                    while let Some(i) = sp.claim(t, tries) {
+                        local.push(i);
+                        tries = tries.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    claimed.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = claimed.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all.len(), n, "every index claimed");
+        all.dedup();
+        assert_eq!(all.len(), n, "no index claimed twice");
+        assert!(sp.all_done());
+    }
+
+    #[test]
+    fn empty_and_tiny_ranges() {
+        let sp = StealingPartitions::new(0, 4);
+        for t in 0..4 {
+            assert_eq!(sp.claim(t, 0), None);
+        }
+        assert!(sp.all_done());
+
+        let sp = StealingPartitions::new(2, 4);
+        let got: Vec<_> = (0..4).filter_map(|t| sp.claim(t, 0)).collect();
+        assert_eq!(got.len(), 2);
+    }
+}

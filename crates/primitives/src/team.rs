@@ -1,0 +1,252 @@
+//! SPMD thread team with reusable barriers.
+//!
+//! The paper's algorithms are written per-processor ("for processor pi,
+//! 0 ≤ i ≤ p−1") with implicit barrier synchronization between steps — the
+//! execution model of the SIMPLE library the authors built on. [`SmpTeam`]
+//! reproduces it: `p` OS threads run the same closure, each sees its rank,
+//! and [`TeamCtx::barrier`] lines the phases up.
+//!
+//! Data-parallel primitives (sorts, scans) use rayon internally; the SPMD
+//! team is reserved for the algorithm skeletons whose structure genuinely is
+//! "p coordinated sequential programs", like MST-BC's concurrent Prim
+//! growth.
+
+use std::sync::Barrier;
+
+/// Handle given to every member of a running team.
+pub struct TeamCtx<'a> {
+    /// This thread's rank in `0..p`.
+    pub rank: usize,
+    /// Team width.
+    pub p: usize,
+    barrier: &'a Barrier,
+}
+
+impl TeamCtx<'_> {
+    /// Block until every team member arrives.
+    #[inline]
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// This rank's block of a `0..n` index space (contiguous, balanced).
+    #[inline]
+    pub fn block(&self, n: usize) -> std::ops::Range<usize> {
+        crate::block_range(n, self.p, self.rank)
+    }
+}
+
+/// A fixed-width SPMD team. Creating the team is cheap; each [`SmpTeam::run`]
+/// spawns `p` scoped threads (the paper's algorithms launch one team per
+/// algorithm invocation, so spawn cost is amortized over whole MSF runs).
+#[derive(Debug, Clone, Copy)]
+pub struct SmpTeam {
+    p: usize,
+}
+
+impl SmpTeam {
+    /// A team of `p` workers (`p >= 1`).
+    pub fn new(p: usize) -> Self {
+        SmpTeam { p: p.max(1) }
+    }
+
+    /// Team width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.p
+    }
+
+    /// Run `f` on every member; returns the per-rank results in rank order.
+    ///
+    /// A panic on any member propagates (the scope joins all threads first).
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&TeamCtx<'_>) -> R + Sync,
+    {
+        if self.p == 1 {
+            // Degenerate team: run inline, still honoring barrier() calls.
+            let barrier = Barrier::new(1);
+            let ctx = TeamCtx {
+                rank: 0,
+                p: 1,
+                barrier: &barrier,
+            };
+            return vec![f(&ctx)];
+        }
+        let barrier = Barrier::new(self.p);
+        let mut results: Vec<Option<R>> = (0..self.p).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(self.p);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let barrier = &barrier;
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    let ctx = TeamCtx {
+                        rank,
+                        p: self.p,
+                        barrier,
+                    };
+                    *slot = Some(f(&ctx));
+                }));
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker completed"))
+            .collect()
+    }
+}
+
+/// Typed cross-member communication for an [`SmpTeam`] phase: each rank
+/// deposits a value, a barrier separates writers from readers, and any rank
+/// folds the deposits. Mirrors the reduce/broadcast primitives of the
+/// SIMPLE library the paper's implementation was built on.
+///
+/// ```
+/// use msf_primitives::team::{SmpTeam, TeamReducer};
+/// let team = SmpTeam::new(4);
+/// let red = TeamReducer::<u64>::new(4);
+/// let sums = team.run(|ctx| {
+///     red.put(ctx.rank, ctx.rank as u64 + 1);
+///     ctx.barrier();
+///     red.fold(0, |a, b| a + b)
+/// });
+/// assert_eq!(sums, vec![10, 10, 10, 10]);
+/// ```
+pub struct TeamReducer<T> {
+    slots: Vec<parking_lot::Mutex<Option<T>>>,
+}
+
+impl<T: Copy> TeamReducer<T> {
+    /// Scratch for a team of width `p`.
+    pub fn new(p: usize) -> Self {
+        TeamReducer {
+            slots: (0..p.max(1)).map(|_| parking_lot::Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Deposit this rank's contribution. Call before the phase barrier.
+    pub fn put(&self, rank: usize, value: T) {
+        *self.slots[rank].lock() = Some(value);
+    }
+
+    /// Read rank `r`'s deposit (panics if it has not been put). Call after
+    /// the phase barrier.
+    pub fn get(&self, rank: usize) -> T {
+        self.slots[rank].lock().expect("rank deposited a value")
+    }
+
+    /// Fold all deposits (missing deposits are skipped). Call after the
+    /// phase barrier.
+    pub fn fold(&self, init: T, f: impl Fn(T, T) -> T) -> T {
+        self.slots
+            .iter()
+            .filter_map(|s| *s.lock())
+            .fold(init, f)
+    }
+
+    /// Clear all slots for reuse in a later phase (typically done by one
+    /// rank, followed by a barrier).
+    pub fn reset(&self) {
+        for s in &self.slots {
+            *s.lock() = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let team = SmpTeam::new(4);
+        let out = team.run(|ctx| ctx.rank * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn width_one_runs_inline() {
+        let team = SmpTeam::new(1);
+        let out = team.run(|ctx| {
+            ctx.barrier(); // must not deadlock
+            ctx.p
+        });
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // Phase 1: everyone increments. Phase 2: everyone must observe p.
+        let team = SmpTeam::new(4);
+        let counter = AtomicUsize::new(0);
+        let observed = team.run(|ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            counter.load(Ordering::SeqCst)
+        });
+        assert_eq!(observed, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn blocks_cover_index_space() {
+        let team = SmpTeam::new(3);
+        let n = 100;
+        let ranges = team.run(|ctx| ctx.block(n));
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, n);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges[2].end, n);
+    }
+
+    #[test]
+    fn zero_width_clamps_to_one() {
+        let team = SmpTeam::new(0);
+        assert_eq!(team.width(), 1);
+    }
+
+    #[test]
+    fn reducer_folds_min_and_broadcast() {
+        let team = SmpTeam::new(3);
+        let red = TeamReducer::<(u64, usize)>::new(3);
+        // Each rank proposes (key, rank); everyone learns the argmin.
+        let winners = team.run(|ctx| {
+            let key = [5u64, 2, 9][ctx.rank];
+            red.put(ctx.rank, (key, ctx.rank));
+            ctx.barrier();
+            red.fold((u64::MAX, usize::MAX), |a, b| if b.0 < a.0 { b } else { a })
+        });
+        assert_eq!(winners, vec![(2, 1); 3]);
+    }
+
+    #[test]
+    fn reducer_reuse_across_phases() {
+        let team = SmpTeam::new(2);
+        let red = TeamReducer::<u32>::new(2);
+        let out = team.run(|ctx| {
+            // Phase 1.
+            red.put(ctx.rank, 1);
+            ctx.barrier();
+            let s1 = red.fold(0, |a, b| a + b);
+            ctx.barrier();
+            if ctx.rank == 0 {
+                red.reset();
+            }
+            ctx.barrier();
+            // Phase 2.
+            red.put(ctx.rank, 10);
+            ctx.barrier();
+            s1 + red.fold(0, |a, b| a + b)
+        });
+        assert_eq!(out, vec![22, 22]);
+    }
+
+    #[test]
+    fn reducer_get_reads_specific_rank() {
+        let red = TeamReducer::<i32>::new(2);
+        red.put(0, -7);
+        assert_eq!(red.get(0), -7);
+    }
+}

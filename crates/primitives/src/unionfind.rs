@@ -1,0 +1,152 @@
+//! Union–find (disjoint set union) with union by rank and path compression.
+//!
+//! Drives the sequential Kruskal and Borůvka baselines and serves as the
+//! ground truth for the parallel connectivity kernels.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind is indexed by u32");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure tracks no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Find the representative of `x`, compressing the path (two-pass).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets containing `a` and `b`. Returns `true` when the two
+    /// were in different sets (i.e. an actual merge happened).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True when `a` and `b` are currently in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 3));
+        assert!(uf.union(1, 4));
+        assert!(uf.same(0, 3));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        let r = uf.find(0);
+        for i in 0..n {
+            assert_eq!(uf.find(i), r);
+        }
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.len(), 0);
+        assert_eq!(uf.set_count(), 0);
+    }
+
+    proptest! {
+        /// set_count always equals the count from a naive quadratic grouping.
+        #[test]
+        fn set_count_matches_naive(ops in proptest::collection::vec((0usize..40, 0usize..40), 0..120)) {
+            let n = 40;
+            let mut uf = UnionFind::new(n);
+            let mut naive: Vec<usize> = (0..n).collect();
+            for (a, b) in ops {
+                uf.union(a, b);
+                let (ra, rb) = (naive[a], naive[b]);
+                if ra != rb {
+                    for x in naive.iter_mut() {
+                        if *x == rb { *x = ra; }
+                    }
+                }
+            }
+            let mut reps: Vec<usize> = naive.clone();
+            reps.sort_unstable();
+            reps.dedup();
+            prop_assert_eq!(uf.set_count(), reps.len());
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(uf.same(a, b), naive[a] == naive[b]);
+                }
+            }
+        }
+    }
+}

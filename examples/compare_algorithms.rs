@@ -1,0 +1,90 @@
+//! CLI: compare every MSF algorithm on a chosen generator and scale.
+//!
+//! ```sh
+//! cargo run --release --example compare_algorithms -- random 100000 600000
+//! cargo run --release --example compare_algorithms -- mesh 1000
+//! cargo run --release --example compare_algorithms -- str0 100000
+//! cargo run --release --example compare_algorithms -- geometric 100000 6
+//! ```
+
+use msf_suite::core::{minimum_spanning_forest, Algorithm, MsfConfig};
+use msf_suite::graph::generators::{
+    geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured,
+    GeneratorConfig, StructuredKind,
+};
+use msf_suite::graph::EdgeList;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compare_algorithms <kind> [args…]\n\
+         kinds: random <n> <m> | mesh <side> | 2d60 <side> | 3d40 <side> |\n\
+                geometric <n> <k> | str0|str1|str2|str3 <n>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = GeneratorConfig::with_seed(2026);
+    let arg = |i: usize| -> usize {
+        args.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    let (label, g): (String, EdgeList) = match args.first().map(String::as_str) {
+        Some("random") => (
+            format!("random n={} m={}", arg(1), arg(2)),
+            random_graph(&cfg, arg(1), arg(2)),
+        ),
+        Some("mesh") => (format!("mesh {0}x{0}", arg(1)), mesh2d(&cfg, arg(1), arg(1))),
+        Some("2d60") => (
+            format!("2D60 {0}x{0}", arg(1)),
+            mesh2d_random(&cfg, arg(1), arg(1), 0.6),
+        ),
+        Some("3d40") => (
+            format!("3D40 {0}^3", arg(1)),
+            mesh3d_random(&cfg, arg(1), arg(1), arg(1), 0.4),
+        ),
+        Some("geometric") => (
+            format!("geometric n={} k={}", arg(1), arg(2)),
+            geometric_knn(&cfg, arg(1), arg(2)),
+        ),
+        Some(s @ ("str0" | "str1" | "str2" | "str3")) => {
+            let kind = match s {
+                "str0" => StructuredKind::Str0,
+                "str1" => StructuredKind::Str1,
+                "str2" => StructuredKind::Str2,
+                _ => StructuredKind::Str3,
+            };
+            (format!("{s} n={}", arg(1)), structured(&cfg, kind, arg(1)))
+        }
+        _ => usage(),
+    };
+
+    println!(
+        "{label}: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!(
+        "{:<10} {:>10} {:>16} {:>12} {:>8}",
+        "algorithm", "wall [s]", "modeled cost", "MSF weight", "trees"
+    );
+    let mut reference: Option<Vec<u32>> = None;
+    for algo in Algorithm::ALL {
+        let r = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(4));
+        println!(
+            "{:<10} {:>10.4} {:>16} {:>12.2} {:>8}",
+            algo.name(),
+            r.stats.total_seconds,
+            r.stats.modeled_cost,
+            r.total_weight,
+            r.components
+        );
+        match &reference {
+            None => reference = Some(r.edges),
+            Some(expect) => assert_eq!(&r.edges, expect, "{algo} disagrees"),
+        }
+    }
+    println!("all algorithms returned the identical forest ✓");
+}

@@ -1,0 +1,69 @@
+//! Wireless sensor-network backbone design — one of the paper's motivating
+//! applications (coverage problems in ad-hoc sensor networks, multicast
+//! trees in high-speed networks).
+//!
+//! Scenario: sensors are scattered over a unit-square field and can talk to
+//! their k nearest neighbors; link cost is transmission energy ~ distance.
+//! The minimum spanning forest is the cheapest backbone that connects every
+//! sensor cluster; per-cluster statistics tell the operator how many relays
+//! each island of coverage needs.
+//!
+//! ```sh
+//! cargo run --release --example network_design
+//! ```
+
+use msf_suite::core::{minimum_spanning_forest, verify, Algorithm, MsfConfig};
+use msf_suite::graph::generators::{geometric_knn, GeneratorConfig};
+use msf_suite::primitives::unionfind::UnionFind;
+
+fn main() {
+    let sensors = 20_000;
+    let reach = 6; // each sensor reaches its 6 nearest peers (paper's k = 6)
+    let g = geometric_knn(&GeneratorConfig::with_seed(7), sensors, reach);
+    println!(
+        "field: {sensors} sensors, {} candidate links, degree ≥ {reach}",
+        g.num_edges()
+    );
+
+    // Compute the backbone with the paper's best all-round performer on
+    // geometric inputs.
+    let cfg = MsfConfig::with_threads(4);
+    let backbone = minimum_spanning_forest(&g, Algorithm::BorAlm, &cfg);
+    verify::verify_msf(&g, &backbone).expect("backbone is the unique MSF");
+
+    println!(
+        "backbone: {} links, total energy {:.3}, {} connected clusters, {:.3}s",
+        backbone.edges.len(),
+        backbone.total_weight,
+        backbone.components,
+        backbone.stats.total_seconds
+    );
+
+    // Per-cluster relay statistics.
+    let mut uf = UnionFind::new(sensors);
+    for &id in &backbone.edges {
+        let e = g.edge(id);
+        uf.union(e.u as usize, e.v as usize);
+    }
+    let mut cluster_size = std::collections::HashMap::new();
+    for v in 0..sensors {
+        *cluster_size.entry(uf.find(v)).or_insert(0usize) += 1;
+    }
+    let mut sizes: Vec<usize> = cluster_size.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "largest clusters: {:?}{}",
+        &sizes[..sizes.len().min(5)],
+        if sizes.len() > 5 { " …" } else { "" }
+    );
+
+    // Link-budget report: the heaviest backbone link bounds the radio power
+    // every relay must support.
+    let max_link = backbone
+        .edges
+        .iter()
+        .map(|&id| g.edge(id).w)
+        .fold(0.0f64, f64::max);
+    let mean_link = backbone.total_weight / backbone.edges.len() as f64;
+    println!("link budget: mean {mean_link:.4}, worst-case {max_link:.4} (unit-square distance)");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: generate a sparse random graph, compute its minimum spanning
+//! forest with each algorithm family, and verify the results agree.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use msf_suite::core::{best_sequential, minimum_spanning_forest, verify, Algorithm, MsfConfig};
+use msf_suite::graph::generators::{random_graph, GeneratorConfig};
+
+fn main() {
+    // A random sparse graph: 50K vertices, 300K edges (density 6, the
+    // middle of the paper's random-graph range).
+    let n = 50_000;
+    let m = 300_000;
+    let g = random_graph(&GeneratorConfig::with_seed(42), n, m);
+    println!("graph: {} vertices, {} edges (m/n = {:.1})", n, m, g.density());
+
+    // The paper's yardstick: the best of three sequential algorithms.
+    let (best_name, best) = best_sequential(&g);
+    println!(
+        "best sequential: {best_name} in {:.3}s, forest weight {:.3}, {} trees",
+        best.stats.total_seconds, best.total_weight, best.components
+    );
+
+    // Run every parallel algorithm and verify against the unique MSF.
+    let cfg = MsfConfig::with_threads(4);
+    for algo in Algorithm::PARALLEL {
+        let r = minimum_spanning_forest(&g, algo, &cfg);
+        verify::verify_msf(&g, &r).expect("verified minimum spanning forest");
+        println!(
+            "{:8} p={}: {:.3}s wall, modeled cost {:>12}, {} MSF edges",
+            algo.name(),
+            cfg.threads,
+            r.stats.total_seconds,
+            r.stats.modeled_cost,
+            r.edges.len()
+        );
+        assert_eq!(r.edges, best.edges, "all algorithms agree on the unique MSF");
+    }
+    println!("all parallel algorithms verified against the sequential reference ✓");
+}
