@@ -162,11 +162,7 @@ fn bench_filter_frontend(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("filter->{label}")),
             &g,
-            |b, g| {
-                b.iter(|| {
-                    msf_core::par::filter::msf_with_inner(g, &cfg, algo).total_weight
-                })
-            },
+            |b, g| b.iter(|| msf_core::par::filter::msf_with_inner(g, &cfg, algo).total_weight),
         );
     }
     group.finish();
@@ -196,18 +192,17 @@ fn bench_dense_vs_sparse(c: &mut Criterion) {
     // about the Dehne–Götz approach).
     let mut group = c.benchmark_group("ablation_dense_vs_sparse");
     group.sample_size(10);
-    for (label, n, m) in [("dense-1k-100k", 1_000usize, 100_000usize), ("sparse-5k-20k", 5_000, 20_000)] {
+    for (label, n, m) in [
+        ("dense-1k-100k", 1_000usize, 100_000usize),
+        ("sparse-5k-20k", 5_000, 20_000),
+    ] {
         let g = random_graph(&GeneratorConfig::with_seed(2026), n, m);
         for algo in [Algorithm::BorDense, Algorithm::BorAl] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), label),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        minimum_spanning_forest(g, algo, &MsfConfig::with_threads(8)).total_weight
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), label), &g, |b, g| {
+                b.iter(|| {
+                    minimum_spanning_forest(g, algo, &MsfConfig::with_threads(8)).total_weight
+                })
+            });
         }
     }
     group.finish();

@@ -18,9 +18,7 @@ fn bench_sample_sort(c: &mut Criterion) {
             .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| {
-                sample_sort_by_key(data.clone(), |&x| x, SampleSortConfig::default()).len()
-            })
+            b.iter(|| sample_sort_by_key(data.clone(), |&x| x, SampleSortConfig::default()).len())
         });
     }
     group.finish();
@@ -39,7 +37,13 @@ fn bench_connectivity(c: &mut Criterion) {
     });
     // Pointer jumping on a pseudo-forest of long chains.
     let parent: Vec<u32> = (0..n)
-        .map(|v| if v % 1000 == 0 { v as u32 + 1 } else { v as u32 - 1 })
+        .map(|v| {
+            if v % 1000 == 0 {
+                v as u32 + 1
+            } else {
+                v as u32 - 1
+            }
+        })
         .collect();
     group.bench_function("pointer_jump", |b| {
         b.iter(|| {

@@ -2,20 +2,26 @@
 //!
 //! ```sh
 //! msf compute <graph.gr> [--algo bor-fal] [--threads 8] [--verify] [--out forest.txt]
+//! msf certify <graph.gr> [--algo bor-fal] [--threads 8]
+//! msf fuzz [--cases 500] [--seed 2026] [--corpus DIR] [--max-n 96] [--inject-failure]
 //! msf generate <kind> [params…] --out graph.gr [--weights uniform|small-int|exponential|bimodal]
 //! msf info <graph.gr>
 //! ```
 //!
 //! Graphs are DIMACS-style (`p sp n m` + `a u v w` lines, 1-indexed). The
 //! forest output lists one selected input edge per line as `u v w`.
+//! `certify` proves a computed forest minimum from the cut/cycle properties
+//! alone (no reference run); `fuzz` differential-tests the whole algorithm
+//! portfolio on generated graphs, shrinking any failure to a minimal DIMACS
+//! reproducer in the corpus directory.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 
-use msf_core::{minimum_spanning_forest, verify, Algorithm, MsfConfig};
+use msf_core::{fuzz, minimum_spanning_forest, verify, Algorithm, MsfConfig};
 use msf_graph::generators::{
-    assign_weights, geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph,
-    structured, GeneratorConfig, StructuredKind, WeightScheme,
+    assign_weights, geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured,
+    GeneratorConfig, StructuredKind, WeightScheme,
 };
 use msf_graph::{io, EdgeList};
 
@@ -23,6 +29,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          msf compute <graph.gr> [--algo NAME] [--threads P] [--verify] [--out FILE]\n  \
+         msf certify <graph.gr> [--algo NAME] [--threads P]\n  \
+         msf fuzz [--cases N] [--seed S] [--corpus DIR] [--max-n N] [--inject-failure]\n  \
          msf generate <random n m | mesh side | 2d60 side | 3d40 side | geometric n k | str0..str3 n>\n      \
          [--seed S] [--weights uniform|small-int|exponential|bimodal] --out FILE\n  \
          msf info <graph.gr>\n\n\
@@ -62,9 +70,127 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("compute") => compute(&args[1..]),
+        Some("certify") => certify(&args[1..]),
+        Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("info") => info(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn certify(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let mut algo = Algorithm::BorFal;
+    let mut threads = rayon::current_num_threads().max(1);
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algo" => {
+                i += 1;
+                algo = args
+                    .get(i)
+                    .and_then(|s| parse_algo(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let g = load(path);
+    let result = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(threads));
+    match msf_core::certify::certify_msf_with(&g, &result, threads) {
+        Ok(cert) => {
+            eprintln!(
+                "{algo}: certificate accepted — {} forest edges in {} trees, {} cycle-property \
+                 queries, {} cut-property checks, modeled certification time {}",
+                cert.forest_edges,
+                cert.trees,
+                cert.cycle_queries,
+                cert.cut_checks,
+                cert.modeled_time()
+            );
+        }
+        Err(v) => {
+            eprintln!("{algo}: CERTIFICATE REJECTED — {v}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn fuzz_cmd(args: &[String]) {
+    let mut cfg = fuzz::FuzzConfig {
+        cases: 500,
+        ..fuzz::FuzzConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => {
+                i += 1;
+                cfg.cases = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--corpus" => {
+                i += 1;
+                cfg.corpus_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()).into());
+            }
+            "--max-n" => {
+                i += 1;
+                cfg.max_vertices = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--inject-failure" => cfg.inject_failure = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let report = fuzz::run_fuzz(&cfg).unwrap_or_else(|e| {
+        eprintln!("fuzz campaign failed with IO error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "fuzz: {} cases, {} runs, {} certified, {} failures (seed {})",
+        report.cases,
+        report.runs,
+        report.certified,
+        report.failures.len(),
+        cfg.seed
+    );
+    for f in &report.failures {
+        eprintln!(
+            "  case {} [{}] {} at p={} base_size={} radix={}: {}",
+            f.case, f.generator, f.algo, f.threads, f.base_size, f.radix_compact, f.detail
+        );
+        eprintln!(
+            "    shrunk to {} vertices / {} edges{}",
+            f.shrunk.num_vertices(),
+            f.shrunk.num_edges(),
+            match &f.reproducer {
+                Some(p) => format!(", reproducer at {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
+    if !report.failures.is_empty() {
+        std::process::exit(1);
     }
 }
 
@@ -207,10 +333,7 @@ fn info(args: &[String]) {
     println!("vertices:    {}", g.num_vertices());
     println!("edges:       {}", g.num_edges());
     println!("density m/n: {:.2}", g.density());
-    println!(
-        "components:  {}",
-        msf_graph::validate::component_count(&g)
-    );
+    println!("components:  {}", msf_graph::validate::component_count(&g));
     println!(
         "simple:      {}",
         match msf_graph::validate::check_simple(&g) {

@@ -10,8 +10,8 @@
 //! captures a run of `repro all` and compares it row-by-row with the paper.
 
 use msf_bench::{
-    fig3_inputs, fig4_inputs, fig5_inputs, fig6_inputs, print_row, run, sweep, Measurement,
-    Scale, PROC_SWEEP,
+    fig3_inputs, fig4_inputs, fig5_inputs, fig6_inputs, print_row, run, sweep, Measurement, Scale,
+    PROC_SWEEP,
 };
 use msf_core::{minimum_spanning_forest, verify, Algorithm, MsfConfig};
 use msf_graph::generators::{random_graph, GeneratorConfig};
@@ -43,7 +43,10 @@ fn main() {
         match w {
             "table1" => table1(scale),
             "fig2" => fig2(scale),
-            "fig3" => { fig3(scale); fig3_weights(scale); }
+            "fig3" => {
+                fig3(scale);
+                fig3_weights(scale);
+            }
             "fig4" => figure_sweep("Figure 4 — random graphs", fig4_inputs(scale, SEED)),
             "fig5" => figure_sweep("Figure 5 — meshes & geometric", fig5_inputs(scale, SEED)),
             "fig6" => figure_sweep("Figure 6 — structured graphs", fig6_inputs(scale, SEED)),
@@ -148,12 +151,7 @@ fn fig3(scale: Scale) {
         let mut times: Vec<(Algorithm, f64)> =
             [Algorithm::Prim, Algorithm::Kruskal, Algorithm::Boruvka]
                 .into_iter()
-                .map(|a| {
-                    (
-                        a,
-                        minimum_spanning_forest(&g, a, &cfg).stats.total_seconds,
-                    )
-                })
+                .map(|a| (a, minimum_spanning_forest(&g, a, &cfg).stats.total_seconds))
                 .collect();
         let row_times: Vec<String> = times.iter().map(|&(_, t)| format!("{t:.3}")).collect();
         times.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
@@ -279,7 +277,11 @@ fn ext_filter(scale: Scale) {
             ("Bor-FAL", fal.wall_seconds, fal.modeled_cost),
             ("filter→FAL", fal_filt.wall_seconds, fal_filt.modeled_cost),
             ("Bor-AL", al.wall_seconds, al.modeled_cost),
-            ("filter→AL", al_filt.stats.total_seconds, al_filt.stats.modeled_cost),
+            (
+                "filter→AL",
+                al_filt.stats.total_seconds,
+                al_filt.stats.modeled_cost,
+            ),
         ];
         for (name, wall, modeled) in rows {
             print_row(
@@ -318,8 +320,16 @@ fn mstbc_behavior(scale: Scale) {
     for (name, g) in inputs {
         println!("-- {name} --");
         print_row(
-            &["p", "trees", "visited", "collisions", "matured", "steals", "rounds"]
-                .map(String::from),
+            &[
+                "p",
+                "trees",
+                "visited",
+                "collisions",
+                "matured",
+                "steals",
+                "rounds",
+            ]
+            .map(String::from),
             &widths,
         );
         for p in PROC_SWEEP {

@@ -16,8 +16,8 @@
 
 use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig, MsfResult};
 use msf_graph::generators::{
-    geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured,
-    GeneratorConfig, StructuredKind,
+    geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured, GeneratorConfig,
+    StructuredKind,
 };
 use msf_graph::EdgeList;
 
@@ -124,7 +124,10 @@ pub fn fig5_inputs(scale: Scale, seed: u64) -> Vec<(String, EdgeList)> {
     vec![
         (format!("mesh {side}x{side}"), mesh2d(&cfg, side, side)),
         (format!("geometric n={n} k=6"), geometric_knn(&cfg, n, 6)),
-        (format!("2D60 {side}x{side}"), mesh2d_random(&cfg, side, side, 0.6)),
+        (
+            format!("2D60 {side}x{side}"),
+            mesh2d_random(&cfg, side, side, 0.6),
+        ),
         (
             format!("3D40 {side3}^3"),
             mesh3d_random(&cfg, side3, side3, side3, 0.4),
@@ -208,6 +211,8 @@ mod tests {
         assert_eq!(f4.len(), 4);
         assert_eq!(f4[0].1.num_edges(), 4 * 10_000);
         let f6 = fig6_inputs(Scale::Smoke, 1);
-        assert!(f6.iter().all(|(_, g)| g.num_edges() == g.num_vertices() - 1));
+        assert!(f6
+            .iter()
+            .all(|(_, g)| g.num_edges() == g.num_vertices() - 1));
     }
 }

@@ -1,0 +1,714 @@
+//! Self-certifying MSF verification — no reference forest, no Kruskal.
+//!
+//! [`verify_msf`](crate::verify::verify_msf) proves a result correct by
+//! recomputing the forest with Kruskal and comparing edge sets. That is a
+//! strong check with one blind spot: a bug shared by the reference and the
+//! algorithm under test (the `(weight, id)` tie-break conventions, the
+//! dedup rules of the contract passes) self-certifies. This module closes
+//! the gap with a certificate derived *only* from the optimality
+//! characterizations of the MSF itself:
+//!
+//! * **structure** — every claimed edge id is valid and distinct, the edge
+//!   set is acyclic, and it spans (tree count == component count, with the
+//!   component count recomputed by union–find over the raw input);
+//! * **cycle property** — every non-forest edge is strictly heavier (in the
+//!   `(weight, id)` total order) than the maximum edge on the forest path
+//!   between its endpoints, checked by O(log n) queries against a
+//!   [`PathMaxForest`] built over the claimed forest;
+//! * **cut property** — every forest edge is the minimum edge crossing the
+//!   cut it defines: no non-forest edge whose forest cycle contains `f` may
+//!   be lighter than `f`, checked by path-cover min-updates over the same
+//!   rooted forest.
+//!
+//! Either optimality property alone (plus structure) already implies the
+//! claimed forest is THE unique MSF; checking both from independently built
+//! data structures means a single bugged traversal cannot vouch for itself.
+//! Total cost is O((n + m) log n); the cycle-property queries are read-only
+//! and run as `p` block-partitioned parallel tasks, each carrying a
+//! [`WorkMeter`] so certification shows up in the modeled-cost accounting
+//! like any other phase.
+
+use msf_graph::pathmax::PathMaxForest;
+use msf_graph::{EdgeKey, EdgeList};
+use msf_primitives::cost::WorkMeter;
+use msf_primitives::unionfind::UnionFind;
+use rayon::prelude::*;
+
+use crate::MsfResult;
+
+const NONE: u32 = u32::MAX;
+
+/// A named reason a claimed forest is not the minimum spanning forest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertificateViolation {
+    /// A claimed edge id does not exist in the input graph.
+    EdgeIdOutOfRange {
+        /// The offending id.
+        id: u32,
+        /// Number of edges in the input graph.
+        num_edges: usize,
+    },
+    /// The same edge id appears twice in the claimed forest.
+    DuplicateEdge {
+        /// The duplicated id.
+        id: u32,
+    },
+    /// The claimed edge set contains a cycle.
+    CyclicForest {
+        /// The first edge that closes a cycle (in claimed order).
+        id: u32,
+    },
+    /// The claimed forest has more trees than the input has components.
+    NotSpanning {
+        /// Trees in the claimed forest.
+        forest_trees: usize,
+        /// Connected components of the input graph.
+        graph_components: usize,
+    },
+    /// `MsfResult::total_weight` disagrees with the sum of claimed edges.
+    InconsistentWeight {
+        /// The reported total.
+        reported: f64,
+        /// The recomputed total.
+        recomputed: f64,
+    },
+    /// `MsfResult::components` disagrees with the input's component count.
+    InconsistentComponents {
+        /// The reported count.
+        reported: u32,
+        /// The recomputed count.
+        actual: usize,
+    },
+    /// Cycle property broken: a non-forest edge is not the heaviest edge of
+    /// the cycle it closes, so swapping it in would produce a lighter (or
+    /// total-order-smaller) spanning forest.
+    CycleProperty {
+        /// The offending non-forest edge.
+        non_forest: u32,
+        /// Its total-order key.
+        non_forest_key: EdgeKey,
+        /// The maximum key on the forest path between its endpoints.
+        path_max: EdgeKey,
+    },
+    /// Cut property broken: a forest edge is not the minimum edge crossing
+    /// the cut its removal defines.
+    CutProperty {
+        /// The offending forest edge.
+        forest: u32,
+        /// Its total-order key.
+        forest_key: EdgeKey,
+        /// A strictly lighter non-forest edge crossing the same cut.
+        lighter_crossing: u32,
+    },
+}
+
+impl std::fmt::Display for CertificateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateViolation::EdgeIdOutOfRange { id, num_edges } => {
+                write!(f, "edge id {id} out of range (m = {num_edges})")
+            }
+            CertificateViolation::DuplicateEdge { id } => write!(f, "edge id {id} used twice"),
+            CertificateViolation::CyclicForest { id } => {
+                write!(f, "edge id {id} closes a cycle in the claimed forest")
+            }
+            CertificateViolation::NotSpanning {
+                forest_trees,
+                graph_components,
+            } => write!(
+                f,
+                "forest is not spanning: {forest_trees} trees but the graph has \
+                 {graph_components} components"
+            ),
+            CertificateViolation::InconsistentWeight {
+                reported,
+                recomputed,
+            } => write!(f, "reported weight {reported} != recomputed {recomputed}"),
+            CertificateViolation::InconsistentComponents { reported, actual } => {
+                write!(
+                    f,
+                    "result reports {reported} components, graph has {actual}"
+                )
+            }
+            CertificateViolation::CycleProperty {
+                non_forest,
+                non_forest_key,
+                path_max,
+            } => write!(
+                f,
+                "cycle property violated: non-forest edge {non_forest} (key {non_forest_key:?}) \
+                 is not the maximum of its cycle (path max {path_max:?}) — the forest is not \
+                 minimum"
+            ),
+            CertificateViolation::CutProperty {
+                forest,
+                forest_key,
+                lighter_crossing,
+            } => write!(
+                f,
+                "cut property violated: forest edge {forest} (key {forest_key:?}) is not the \
+                 minimum across its cut — non-forest edge {lighter_crossing} crosses it and is \
+                 lighter"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertificateViolation {}
+
+/// Evidence of a successful certification, with the work accounting of the
+/// parallel query pass.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Edges in the certified forest.
+    pub forest_edges: usize,
+    /// Non-forest edges that passed the cycle-property query.
+    pub cycle_queries: usize,
+    /// Forest edges that passed the cut-property check.
+    pub cut_checks: usize,
+    /// Trees in the forest (== components of the input).
+    pub trees: usize,
+    /// Per-block meters of the parallel cycle-property pass.
+    pub meters: Vec<WorkMeter>,
+}
+
+impl Certificate {
+    /// Modeled time of the certification's parallel query pass (max over
+    /// blocks, as barriers make a phase as slow as its slowest worker).
+    pub fn modeled_time(&self) -> u64 {
+        msf_primitives::cost::modeled_time(&self.meters)
+    }
+}
+
+/// Certify `result` against `g` using [`rayon::current_num_threads`] blocks.
+pub fn certify_msf(g: &EdgeList, result: &MsfResult) -> Result<Certificate, CertificateViolation> {
+    certify_msf_with(g, result, rayon::current_num_threads().max(1))
+}
+
+/// Certify `result` against `g`, partitioning the cycle-property queries
+/// into `threads` metered blocks. Never invokes Kruskal (or any other MSF
+/// algorithm): acceptance is proved from the cut and cycle properties alone.
+pub fn certify_msf_with(
+    g: &EdgeList,
+    result: &MsfResult,
+    threads: usize,
+) -> Result<Certificate, CertificateViolation> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let p = threads.max(1);
+
+    // --- Structure: ids valid and distinct, acyclic, spanning. ---
+    let mut in_forest = vec![false; m];
+    for &id in &result.edges {
+        if id as usize >= m {
+            return Err(CertificateViolation::EdgeIdOutOfRange { id, num_edges: m });
+        }
+        if in_forest[id as usize] {
+            return Err(CertificateViolation::DuplicateEdge { id });
+        }
+        in_forest[id as usize] = true;
+    }
+    let mut uf = UnionFind::new(n);
+    for &id in &result.edges {
+        let e = g.edge(id);
+        if !uf.union(e.u as usize, e.v as usize) {
+            return Err(CertificateViolation::CyclicForest { id });
+        }
+    }
+    let mut components = UnionFind::new(n);
+    for e in g.edges() {
+        components.union(e.u as usize, e.v as usize);
+    }
+    if uf.set_count() != components.set_count() {
+        return Err(CertificateViolation::NotSpanning {
+            forest_trees: uf.set_count(),
+            graph_components: components.set_count(),
+        });
+    }
+    if result.components as usize != components.set_count() {
+        return Err(CertificateViolation::InconsistentComponents {
+            reported: result.components,
+            actual: components.set_count(),
+        });
+    }
+    let weight: f64 = result.edges.iter().map(|&id| g.edge(id).w).sum();
+    if (weight - result.total_weight).abs() > 1e-9 * weight.abs().max(1.0) {
+        return Err(CertificateViolation::InconsistentWeight {
+            reported: result.total_weight,
+            recomputed: weight,
+        });
+    }
+
+    // --- Cycle property: parallel block-partitioned path-max queries. ---
+    let forest: Vec<(u32, u32, EdgeKey)> = result
+        .edges
+        .iter()
+        .map(|&id| {
+            let e = g.edge(id);
+            (e.u, e.v, e.key())
+        })
+        .collect();
+    let pm = PathMaxForest::build(n, &forest);
+    let log_n = u64::from(usize::BITS - n.max(2).leading_zeros());
+    let edges = g.edges();
+    let blocks: Vec<(Option<CertificateViolation>, WorkMeter, usize)> = (0..p)
+        .into_par_iter()
+        .map(|t| {
+            let r = msf_primitives::block_range(m, p, t);
+            let mut meter = WorkMeter::new();
+            let mut queries = 0usize;
+            let mut worst: Option<CertificateViolation> = None;
+            for e in &edges[r] {
+                if in_forest[e.id as usize] || e.u == e.v {
+                    continue;
+                }
+                queries += 1;
+                // A path-max query walks two ancestor chains: ~2 log n
+                // scattered reads and as many key comparisons.
+                meter.mem(2 * log_n);
+                meter.ops(2 * log_n);
+                match pm.path_max(e.u, e.v) {
+                    Some(path_max) if e.key() > path_max => {}
+                    Some(path_max) => {
+                        worst = pick_first(
+                            worst,
+                            e.id,
+                            CertificateViolation::CycleProperty {
+                                non_forest: e.id,
+                                non_forest_key: e.key(),
+                                path_max,
+                            },
+                        );
+                    }
+                    // Endpoints in different trees: the structural spanning
+                    // check above already accepted exactly the input's
+                    // component structure, so this cannot happen; defensive.
+                    None => {
+                        worst = pick_first(
+                            worst,
+                            e.id,
+                            CertificateViolation::NotSpanning {
+                                forest_trees: uf.set_count(),
+                                graph_components: components.set_count(),
+                            },
+                        );
+                    }
+                }
+            }
+            (worst, meter, queries)
+        })
+        .collect();
+    let mut meters = Vec::with_capacity(p);
+    let mut cycle_queries = 0usize;
+    let mut first: Option<(u32, CertificateViolation)> = None;
+    for (worst, meter, queries) in blocks {
+        meters.push(meter);
+        cycle_queries += queries;
+        if let Some(v) = worst {
+            let id = violation_edge(&v);
+            if first.as_ref().is_none_or(|(best, _)| id < *best) {
+                first = Some((id, v));
+            }
+        }
+    }
+    if let Some((_, v)) = first {
+        return Err(v);
+    }
+
+    // --- Cut property: path-cover min-updates over the same forest. ---
+    let cover = CutCover::build(n, g, &in_forest);
+    if let Some(v) = cover.check(g, &in_forest) {
+        return Err(v);
+    }
+
+    Ok(Certificate {
+        forest_edges: result.edges.len(),
+        cycle_queries,
+        cut_checks: result.edges.len(),
+        trees: uf.set_count(),
+        meters,
+    })
+}
+
+/// Deterministic winner among block-local violations: lowest offending edge
+/// id (so a fixed input yields a fixed error regardless of p).
+fn pick_first(
+    current: Option<CertificateViolation>,
+    id: u32,
+    candidate: CertificateViolation,
+) -> Option<CertificateViolation> {
+    match current {
+        Some(cur) if violation_edge(&cur) <= id => Some(cur),
+        _ => Some(candidate),
+    }
+}
+
+fn violation_edge(v: &CertificateViolation) -> u32 {
+    match v {
+        CertificateViolation::CycleProperty { non_forest, .. } => *non_forest,
+        CertificateViolation::CutProperty { forest, .. } => *forest,
+        _ => 0,
+    }
+}
+
+/// Rooted-forest scaffolding for the cut-property check, built directly from
+/// the claimed forest (independently of [`PathMaxForest`], so the two
+/// optimality certificates do not share a traversal).
+///
+/// `cover[k][v]` carries, as `(key, id)` of a non-forest edge, a pending
+/// min-update over the 2^k parent edges starting at `v`; [`CutCover::check`]
+/// pushes the updates down to the per-parent-edge level and compares each
+/// forest edge against the lightest non-forest edge whose cycle contains it.
+struct CutCover {
+    up: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+    comp: Vec<u32>,
+    /// Key of the edge from v to its parent (EdgeKey::MAX at roots).
+    pkey: Vec<EdgeKey>,
+    /// Id of the edge from v to its parent (NONE at roots).
+    pid: Vec<u32>,
+    /// Pending min-covers, one level per lifting table.
+    cover: Vec<Vec<(EdgeKey, u32)>>,
+}
+
+impl CutCover {
+    fn build(n: usize, g: &EdgeList, in_forest: &[bool]) -> CutCover {
+        let mut adj: Vec<Vec<(u32, EdgeKey)>> = vec![Vec::new(); n];
+        for e in g.edges() {
+            if in_forest[e.id as usize] {
+                adj[e.u as usize].push((e.v, e.key()));
+                adj[e.v as usize].push((e.u, e.key()));
+            }
+        }
+        let mut parent = vec![NONE; n];
+        let mut pkey = vec![EdgeKey::MAX; n];
+        let mut pid = vec![NONE; n];
+        let mut depth = vec![0u32; n];
+        let mut comp = vec![NONE; n];
+        let mut queue = std::collections::VecDeque::new();
+        for root in 0..n as u32 {
+            if comp[root as usize] != NONE {
+                continue;
+            }
+            comp[root as usize] = root;
+            queue.push_back(root);
+            while let Some(x) = queue.pop_front() {
+                for &(y, key) in &adj[x as usize] {
+                    if comp[y as usize] != NONE {
+                        continue;
+                    }
+                    comp[y as usize] = root;
+                    parent[y as usize] = x;
+                    pkey[y as usize] = key;
+                    pid[y as usize] = key.id;
+                    depth[y as usize] = depth[x as usize] + 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        let levels = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        let mut up = vec![parent];
+        for k in 1..levels {
+            let prev = &up[k - 1];
+            let mut next = vec![NONE; n];
+            for v in 0..n {
+                if prev[v] != NONE {
+                    next[v] = prev[prev[v] as usize];
+                }
+            }
+            up.push(next);
+        }
+        let cover = vec![vec![(EdgeKey::MAX, NONE); n]; up.len()];
+        CutCover {
+            up,
+            depth,
+            comp,
+            pkey,
+            pid,
+            cover,
+        }
+    }
+
+    /// Min-cover the path u..v with the non-forest edge `(key, id)`.
+    fn apply(&mut self, mut u: u32, mut v: u32, key: EdgeKey, id: u32) {
+        if u == v || self.comp[u as usize] != self.comp[v as usize] {
+            return; // self-loop or cross-tree: covers no forest edge
+        }
+        if self.depth[u as usize] < self.depth[v as usize] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        let mut diff = self.depth[u as usize] - self.depth[v as usize];
+        let mut k = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                self.tag(k, u, key, id);
+                u = self.up[k][u as usize];
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        if u == v {
+            return;
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][u as usize] != self.up[k][v as usize] {
+                self.tag(k, u, key, id);
+                self.tag(k, v, key, id);
+                u = self.up[k][u as usize];
+                v = self.up[k][v as usize];
+            }
+        }
+        self.tag(0, u, key, id);
+        self.tag(0, v, key, id);
+    }
+
+    #[inline]
+    fn tag(&mut self, k: usize, v: u32, key: EdgeKey, id: u32) {
+        let slot = &mut self.cover[k][v as usize];
+        if key < slot.0 {
+            *slot = (key, id);
+        }
+    }
+
+    /// Push covers down and compare every forest edge with its lightest
+    /// crossing non-forest edge.
+    fn check(mut self, g: &EdgeList, in_forest: &[bool]) -> Option<CertificateViolation> {
+        for e in g.edges() {
+            if !in_forest[e.id as usize] {
+                self.apply(e.u, e.v, e.key(), e.id);
+            }
+        }
+        // Level k covers split into two level k-1 covers: at v, and at v's
+        // 2^(k-1)-th ancestor.
+        for k in (1..self.up.len()).rev() {
+            for v in 0..self.up[0].len() {
+                let (key, id) = self.cover[k][v];
+                if id == NONE {
+                    continue;
+                }
+                let mid = self.up[k - 1][v];
+                self.tag(k - 1, v as u32, key, id);
+                if mid != NONE {
+                    self.tag(k - 1, mid, key, id);
+                }
+            }
+        }
+        // cover[0][v] is now the lightest non-forest edge whose forest cycle
+        // contains the parent edge of v. Cut property: the forest edge must
+        // be strictly lighter (keys are distinct under the total order).
+        let mut worst: Option<(u32, CertificateViolation)> = None;
+        for v in 0..self.up[0].len() {
+            if self.pid[v] == NONE {
+                continue;
+            }
+            let (key, id) = self.cover[0][v];
+            if id != NONE && key < self.pkey[v] {
+                let fid = self.pid[v];
+                if worst.as_ref().is_none_or(|(best, _)| fid < *best) {
+                    worst = Some((
+                        fid,
+                        CertificateViolation::CutProperty {
+                            forest: fid,
+                            forest_key: self.pkey[v],
+                            lighter_crossing: id,
+                        },
+                    ));
+                }
+            }
+        }
+        worst.map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunStats;
+    use crate::{minimum_spanning_forest, Algorithm, MsfConfig};
+    use msf_graph::generators::{random_graph, GeneratorConfig};
+
+    fn result_with(edges: Vec<u32>, g: &EdgeList) -> MsfResult {
+        let total_weight = edges.iter().map(|&id| g.edge(id).w).sum();
+        let mut uf = UnionFind::new(g.num_vertices());
+        for e in g.edges() {
+            uf.union(e.u as usize, e.v as usize);
+        }
+        MsfResult {
+            edges,
+            total_weight,
+            components: uf.set_count() as u32,
+            stats: RunStats::default(),
+        }
+    }
+
+    #[test]
+    fn accepts_every_algorithm_without_a_reference() {
+        let g = random_graph(&GeneratorConfig::with_seed(11), 300, 1200);
+        for algo in Algorithm::ALL {
+            let r = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(3));
+            let cert = certify_msf_with(&g, &r, 3).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert_eq!(cert.forest_edges, r.edges.len());
+            assert!(cert.cycle_queries > 0);
+            assert!(cert.modeled_time() > 0);
+        }
+    }
+
+    #[test]
+    fn rejects_swapped_edge_as_cut_or_cycle_violation() {
+        // Triangle: MSF is {0, 1}; swapping in the heavy edge 2 for edge 1
+        // keeps it spanning but breaks both optimality properties.
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let bad = result_with(vec![0, 2], &g);
+        match certify_msf_with(&g, &bad, 2).unwrap_err() {
+            CertificateViolation::CycleProperty { non_forest, .. } => assert_eq!(non_forest, 1),
+            v => panic!("expected CycleProperty, got {v}"),
+        }
+    }
+
+    #[test]
+    fn rejects_dropped_edge_as_not_spanning() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0)]);
+        let bad = result_with(vec![0], &g);
+        match certify_msf_with(&g, &bad, 2).unwrap_err() {
+            CertificateViolation::NotSpanning {
+                forest_trees,
+                graph_components,
+            } => {
+                assert_eq!(forest_trees, 2);
+                assert_eq!(graph_components, 1);
+            }
+            v => panic!("expected NotSpanning, got {v}"),
+        }
+    }
+
+    #[test]
+    fn rejects_heavier_parallel_substitute() {
+        // Two parallel (0,1) edges; the claimed forest takes the heavy one.
+        let g = EdgeList::from_triples(2, vec![(0, 1, 1.0), (0, 1, 5.0)]);
+        let bad = result_with(vec![1], &g);
+        let err = certify_msf_with(&g, &bad, 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CertificateViolation::CycleProperty { non_forest: 0, .. }
+                    | CertificateViolation::CutProperty { forest: 1, .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_cycle_duplicate_and_bad_ids() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let cyc = result_with(vec![0, 1, 2], &g);
+        assert!(matches!(
+            certify_msf_with(&g, &cyc, 1).unwrap_err(),
+            CertificateViolation::CyclicForest { id: 2 }
+        ));
+        let dup = result_with(vec![0, 0], &g);
+        assert!(matches!(
+            certify_msf_with(&g, &dup, 1).unwrap_err(),
+            CertificateViolation::DuplicateEdge { id: 0 }
+        ));
+        let oob = MsfResult {
+            edges: vec![9],
+            total_weight: 0.0,
+            components: 1,
+            stats: RunStats::default(),
+        };
+        assert!(matches!(
+            certify_msf_with(&g, &oob, 1).unwrap_err(),
+            CertificateViolation::EdgeIdOutOfRange {
+                id: 9,
+                num_edges: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_weight_and_components() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0)]);
+        let mut r = result_with(vec![0, 1], &g);
+        r.total_weight = 999.0;
+        assert!(matches!(
+            certify_msf_with(&g, &r, 1).unwrap_err(),
+            CertificateViolation::InconsistentWeight { .. }
+        ));
+        let mut r = result_with(vec![0, 1], &g);
+        r.components = 7;
+        assert!(matches!(
+            certify_msf_with(&g, &r, 1).unwrap_err(),
+            CertificateViolation::InconsistentComponents { reported: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn tie_heavy_wrong_tree_is_rejected() {
+        // 4-cycle, all weights equal: only (weight, id) order decides. The
+        // true MSF is {0, 1, 2}; {1, 2, 3} spans but is not THE forest.
+        let g = EdgeList::from_triples(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let good = result_with(vec![0, 1, 2], &g);
+        certify_msf_with(&g, &good, 2).unwrap();
+        let bad = result_with(vec![1, 2, 3], &g);
+        let err = certify_msf_with(&g, &bad, 2).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CertificateViolation::CycleProperty { non_forest: 0, .. }
+            ),
+            "id tie-break must flag edge 0, got {err}"
+        );
+    }
+
+    #[test]
+    fn violation_is_deterministic_across_thread_counts() {
+        let g = random_graph(&GeneratorConfig::with_seed(21), 120, 480);
+        let good = minimum_spanning_forest(&g, Algorithm::Boruvka, &MsfConfig::default());
+        // Corrupt: drop the last forest edge, substitute the heaviest
+        // non-forest edge (keeps the tree count, breaks minimality).
+        let in_forest: std::collections::HashSet<u32> = good.edges.iter().copied().collect();
+        let heavy = g
+            .edges()
+            .iter()
+            .filter(|e| !in_forest.contains(&e.id))
+            .max_by_key(|e| e.key())
+            .unwrap();
+        // Find a forest edge on the cycle heavy closes, to swap out.
+        let forest: Vec<(u32, u32, EdgeKey)> = good
+            .edges
+            .iter()
+            .map(|&id| {
+                let e = g.edge(id);
+                (e.u, e.v, e.key())
+            })
+            .collect();
+        let pm = PathMaxForest::build(g.num_vertices(), &forest);
+        let cycle_max = pm.path_max(heavy.u, heavy.v).unwrap();
+        let mut edges: Vec<u32> = good
+            .edges
+            .iter()
+            .copied()
+            .filter(|&id| id != cycle_max.id)
+            .collect();
+        edges.push(heavy.id);
+        edges.sort_unstable();
+        let bad = result_with(edges, &g);
+        let errs: Vec<CertificateViolation> = [1usize, 3, 7]
+            .into_iter()
+            .map(|p| certify_msf_with(&g, &bad, p).unwrap_err())
+            .collect();
+        assert_eq!(errs[0], errs[1]);
+        assert_eq!(errs[1], errs[2]);
+    }
+
+    #[test]
+    fn handles_empty_and_single_vertex_graphs() {
+        for n in [0usize, 1, 2] {
+            let g = EdgeList::from_triples(n, vec![]);
+            let r = result_with(vec![], &g);
+            let cert = certify_msf_with(&g, &r, 3).unwrap();
+            assert_eq!(cert.forest_edges, 0);
+            assert_eq!(cert.trees, n);
+        }
+    }
+}

@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
+pub mod fuzz;
 pub mod par;
 pub mod seq;
 pub mod stats;

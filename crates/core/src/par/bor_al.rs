@@ -158,12 +158,7 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig, policy: AllocPolicy) -> MsfResult {
 
 /// find-min over per-vertex lists: returns the hook targets (`v` itself when
 /// the list is empty) and the chosen edge ids.
-fn find_min(
-    lists: &Lists,
-    n: usize,
-    p: usize,
-    meters: &mut [WorkMeter],
-) -> (Vec<u32>, Vec<u32>) {
+fn find_min(lists: &Lists, n: usize, p: usize, meters: &mut [WorkMeter]) -> (Vec<u32>, Vec<u32>) {
     let parts: Vec<(Vec<u32>, Vec<u32>, WorkMeter)> = (0..p)
         .into_par_iter()
         .map(|t| {
@@ -263,8 +258,7 @@ fn compact(
             let mut storage: Vec<Vec<AdjEntry>> = Vec::with_capacity(parts.len());
             for (t, (built, m)) in parts.into_iter().enumerate() {
                 meters[t] = meters[t] + m;
-                let mut flat: Vec<AdjEntry> =
-                    Vec::with_capacity(built.iter().map(Vec::len).sum());
+                let mut flat: Vec<AdjEntry> = Vec::with_capacity(built.iter().map(Vec::len).sum());
                 for list in built {
                     let start = flat.len() as u32;
                     flat.extend_from_slice(&list);
@@ -294,11 +288,10 @@ fn merge_segments(scratch: &[AdjEntry], bounds: &[usize], meter: &mut WorkMeter)
         return outlist;
     }
     type Head = std::cmp::Reverse<((u32, OrderedWeight, u32), usize)>;
-    let mut heads: std::collections::BinaryHeap<Head> =
-        (0..segs)
-            .filter(|&i| bounds[i] < bounds[i + 1])
-            .map(|i| std::cmp::Reverse((scratch[bounds[i]].group_key(), i)))
-            .collect();
+    let mut heads: std::collections::BinaryHeap<Head> = (0..segs)
+        .filter(|&i| bounds[i] < bounds[i + 1])
+        .map(|i| std::cmp::Reverse((scratch[bounds[i]].group_key(), i)))
+        .collect();
     let mut cursor: Vec<usize> = bounds[..segs].to_vec();
     while let Some(std::cmp::Reverse((_, i))) = heads.pop() {
         let e = scratch[cursor[i]];
@@ -354,7 +347,13 @@ mod tests {
         // become parallel edges and only id 4 (w 8) must survive and win.
         let g = EdgeList::from_triples(
             4,
-            vec![(0, 1, 1.0), (2, 3, 1.5), (1, 2, 10.0), (0, 3, 9.0), (0, 2, 8.0)],
+            vec![
+                (0, 1, 1.0),
+                (2, 3, 1.5),
+                (1, 2, 10.0),
+                (0, 3, 9.0),
+                (0, 2, 8.0),
+            ],
         );
         let r = msf(&g, &cfg(2), AllocPolicy::SystemHeap);
         assert_eq!(r.edges, vec![0, 1, 4]);

@@ -170,7 +170,13 @@ mod tests {
         // must match Kruskal on a multigraph-after-contraction scenario.
         let g = EdgeList::from_triples(
             4,
-            vec![(0, 1, 1.0), (2, 3, 1.0), (0, 2, 9.0), (1, 3, 3.0), (1, 2, 7.0)],
+            vec![
+                (0, 1, 1.0),
+                (2, 3, 1.0),
+                (0, 2, 9.0),
+                (1, 3, 3.0),
+                (1, 2, 7.0),
+            ],
         );
         assert_eq!(msf(&g, &cfg(2)).edges, crate::seq::kruskal::msf(&g).edges);
     }

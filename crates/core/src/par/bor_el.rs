@@ -162,16 +162,8 @@ mod tests {
             );
             assert_eq!(sample.edges, radix.edges, "seed {seed}");
             // Same iteration structure too: the compact output is identical.
-            assert_eq!(
-                sample.stats.iterations.len(),
-                radix.stats.iterations.len()
-            );
-            for (a, b) in sample
-                .stats
-                .iterations
-                .iter()
-                .zip(&radix.stats.iterations)
-            {
+            assert_eq!(sample.stats.iterations.len(), radix.stats.iterations.len());
+            for (a, b) in sample.stats.iterations.iter().zip(&radix.stats.iterations) {
                 assert_eq!(a.directed_edges, b.directed_edges);
             }
         }

@@ -239,7 +239,10 @@ mod tests {
         let r = msf(&g, &cfg(2));
         assert!(r.stats.iterations.len() >= 2);
         for it in &r.stats.iterations {
-            assert_eq!(it.directed_edges, 1800, "Bor-FAL never shrinks the edge set");
+            assert_eq!(
+                it.directed_edges, 1800,
+                "Bor-FAL never shrinks the edge set"
+            );
         }
     }
 }

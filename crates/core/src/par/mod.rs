@@ -4,6 +4,6 @@ pub mod bor_al;
 pub mod bor_dense;
 pub mod bor_el;
 pub mod bor_fal;
-pub mod filter;
 pub(crate) mod common;
+pub mod filter;
 pub mod mst_bc;

@@ -342,9 +342,7 @@ fn unvisited_min_edges(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msf_graph::generators::{
-        random_graph, structured, GeneratorConfig, StructuredKind,
-    };
+    use msf_graph::generators::{random_graph, structured, GeneratorConfig, StructuredKind};
 
     fn cfg(p: usize) -> MsfConfig {
         MsfConfig {

@@ -97,10 +97,7 @@ mod tests {
     #[test]
     fn handles_equal_weights() {
         // A 4-cycle of equal weights: ids 0,1,2 win by the tie-break order.
-        let g = EdgeList::from_triples(
-            4,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
-        );
+        let g = EdgeList::from_triples(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
         assert_eq!(msf(&g).edges, vec![0, 1, 2]);
     }
 

@@ -43,7 +43,13 @@ mod tests {
     fn picks_light_edges_first() {
         let g = EdgeList::from_triples(
             4,
-            vec![(0, 1, 4.0), (1, 2, 1.0), (2, 3, 2.0), (0, 3, 3.0), (0, 2, 5.0)],
+            vec![
+                (0, 1, 4.0),
+                (1, 2, 1.0),
+                (2, 3, 2.0),
+                (0, 3, 3.0),
+                (0, 2, 5.0),
+            ],
         );
         let r = msf(&g);
         // Sorted: 1.0(id1), 2.0(id2), 3.0(id3), 4.0(id0), 5.0(id4).

@@ -3,12 +3,30 @@
 //! With the `(weight, edge id)` total order the minimum spanning forest is
 //! unique, so the strongest check is available cheaply: structural forest
 //! invariants plus exact edge-set equality with a trusted sequential
-//! reference.
+//! reference, cross-checked against the Kruskal-independent certificate of
+//! [`crate::certify`] so the reference and the certifier vouch for each
+//! other.
+
+use std::collections::HashSet;
 
 use msf_graph::EdgeList;
 use msf_primitives::unionfind::UnionFind;
 
 use crate::MsfResult;
+
+/// How many differing edge ids to include in a mismatch message.
+const DIFF_SAMPLE: usize = 5;
+
+/// The ids in `a` but not `b`, ascending, at most [`DIFF_SAMPLE`] of them.
+/// Hash-set membership keeps the diff O(k) rather than the O(k²) that
+/// repeated `contains` scans on large forests would cost.
+fn sample_diff(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let b: HashSet<u32> = b.iter().copied().collect();
+    let mut out: Vec<u32> = a.iter().copied().filter(|id| !b.contains(id)).collect();
+    out.sort_unstable();
+    out.truncate(DIFF_SAMPLE);
+    out
+}
 
 /// Verify that `result` is a minimum spanning forest of `g`.
 ///
@@ -17,7 +35,10 @@ use crate::MsfResult;
 /// 2. the edges are acyclic (union–find accepts every one);
 /// 3. the forest spans: tree count equals the component count of `g`;
 /// 4. the reported weight and component fields are consistent;
-/// 5. the edge set equals the (unique) MSF computed by Kruskal.
+/// 5. the edge set equals the (unique) MSF computed by Kruskal;
+/// 6. the Kruskal comparison and the self-contained optimality certificate
+///    of [`crate::certify::certify_msf`] reach the same verdict — a
+///    disagreement means the *verifiers* are buggy, and is reported as such.
 pub fn verify_msf(g: &EdgeList, result: &MsfResult) -> Result<(), String> {
     let n = g.num_vertices();
     let m = g.num_edges();
@@ -66,26 +87,33 @@ pub fn verify_msf(g: &EdgeList, result: &MsfResult) -> Result<(), String> {
     }
 
     let reference = crate::seq::kruskal::msf(g);
-    if reference.edges != result.edges {
-        let missing: Vec<u32> = reference
-            .edges
-            .iter()
-            .filter(|id| !result.edges.contains(id))
-            .copied()
-            .take(5)
-            .collect();
-        let extra: Vec<u32> = result
-            .edges
-            .iter()
-            .filter(|id| !reference.edges.contains(id))
-            .copied()
-            .take(5)
-            .collect();
-        return Err(format!(
+    let kruskal_verdict = if reference.edges == result.edges {
+        Ok(())
+    } else {
+        let missing = sample_diff(&reference.edges, &result.edges);
+        let extra = sample_diff(&result.edges, &reference.edges);
+        Err(format!(
             "edge set differs from the unique MSF (missing e.g. {missing:?}, extra e.g. {extra:?})"
-        ));
+        ))
+    };
+
+    // Independent second opinion: the cut/cycle-property certificate never
+    // runs Kruskal, so agreement here means a shared reference bug cannot
+    // silently accept a wrong forest (nor a certifier bug reject a right
+    // one).
+    let certificate_verdict = crate::certify::certify_msf(g, result);
+    match (kruskal_verdict, certificate_verdict) {
+        (Ok(()), Ok(_)) => Ok(()),
+        (Err(k), Err(_)) => Err(k),
+        (Ok(()), Err(c)) => Err(format!(
+            "verifier disagreement: matches the Kruskal reference but fails \
+             certification ({c}) — one of the two verifiers is buggy"
+        )),
+        (Err(k), Ok(_)) => Err(format!(
+            "verifier disagreement: certified optimal yet differs from the \
+             Kruskal reference ({k}) — one of the two verifiers is buggy"
+        )),
     }
-    Ok(())
 }
 
 /// Verify the MSF *without* recomputing a reference forest: structural
@@ -209,7 +237,9 @@ mod tests {
             .unwrap_err()
             .contains("twice"));
         let wrong_weight = fake_result(vec![0, 1], 999.0, 1);
-        assert!(verify_msf(&g, &wrong_weight).unwrap_err().contains("weight"));
+        assert!(verify_msf(&g, &wrong_weight)
+            .unwrap_err()
+            .contains("weight"));
     }
 
     #[test]
@@ -257,10 +287,7 @@ mod tests {
     #[test]
     fn cycle_property_verifier_on_ties() {
         // All weights equal: only the id order distinguishes forests.
-        let g = EdgeList::from_triples(
-            4,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
-        );
+        let g = EdgeList::from_triples(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
         let good = minimum_spanning_forest(&g, Algorithm::Kruskal, &MsfConfig::default());
         verify_msf_cycle_property(&g, &good).unwrap();
         // The other spanning tree (ids 1,2,3) is spanning but not THE MSF.

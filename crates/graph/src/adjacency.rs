@@ -80,7 +80,11 @@ impl AdjacencyArray {
     #[inline]
     pub fn row(&self, v: u32) -> (&[u32], &[f64], &[u32]) {
         let (lo, hi) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
-        (&self.targets[lo..hi], &self.weights[lo..hi], &self.ids[lo..hi])
+        (
+            &self.targets[lo..hi],
+            &self.weights[lo..hi],
+            &self.ids[lo..hi],
+        )
     }
 
     /// Iterate `(neighbor, weight, edge id)` over `v`'s incident edges.

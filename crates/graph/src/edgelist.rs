@@ -25,7 +25,10 @@ impl EdgeList {
             .into_iter()
             .enumerate()
             .map(|(id, (u, v, w))| {
-                assert!((u as usize) < n && (v as usize) < n, "endpoint out of range");
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "endpoint out of range"
+                );
                 assert_ne!(u, v, "self-loops are not valid input edges");
                 assert!(w.is_finite(), "weights must be finite");
                 Edge::new(u, v, w, id as u32)

@@ -75,7 +75,11 @@ pub fn geometric_knn(cfg: &GeneratorConfig, n: usize, k: usize) -> EdgeList {
             ring += 1;
         }
         for &(_, j) in cand.iter().take(k) {
-            let (a, b) = if (i as u32) < j { (i as u64, j as u64) } else { (j as u64, i as u64) };
+            let (a, b) = if (i as u32) < j {
+                (i as u64, j as u64)
+            } else {
+                (j as u64, i as u64)
+            };
             keys.push((a << 32) | b);
         }
     }
@@ -146,7 +150,10 @@ mod tests {
     fn weights_are_euclidean_distances() {
         let g = geometric_knn(&GeneratorConfig::with_seed(2), 100, 4);
         // Distances in the unit square are in (0, sqrt(2)].
-        assert!(g.edges().iter().all(|e| e.w > 0.0 && e.w <= std::f64::consts::SQRT_2));
+        assert!(g
+            .edges()
+            .iter()
+            .all(|e| e.w > 0.0 && e.w <= std::f64::consts::SQRT_2));
     }
 
     #[test]

@@ -14,9 +14,15 @@ use crate::edgelist::EdgeList;
 /// # Panics
 /// Panics if `m` exceeds the number of vertex pairs `n * (n - 1) / 2`.
 pub fn random_graph(cfg: &GeneratorConfig, n: usize, m: usize) -> EdgeList {
-    assert!(n >= 2 || m == 0, "cannot place edges on fewer than 2 vertices");
+    assert!(
+        n >= 2 || m == 0,
+        "cannot place edges on fewer than 2 vertices"
+    );
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "requested {m} edges but only {max_edges} pairs exist");
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} pairs exist"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Keys pack (min, max) endpoints into one u64 so uniqueness is a

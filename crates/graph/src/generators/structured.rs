@@ -178,7 +178,10 @@ mod tests {
     fn str1_uses_far_fewer_levels_than_str0() {
         let g = structured(&GeneratorConfig::with_seed(0), StructuredKind::Str1, 1024);
         let max_level = g.edges().iter().map(|e| e.w as usize).max().unwrap();
-        assert!(max_level <= 4, "chains of sqrt(n) should need ~loglog levels, got {max_level}");
+        assert!(
+            max_level <= 4,
+            "chains of sqrt(n) should need ~loglog levels, got {max_level}"
+        );
     }
 
     #[test]
@@ -190,7 +193,8 @@ mod tests {
         // Same topology, different jitter.
         assert_eq!(a.num_edges(), c.num_edges());
         assert_ne!(
-            a.edges()[0].w, c.edges()[0].w,
+            a.edges()[0].w,
+            c.edges()[0].w,
             "seed should perturb weights"
         );
     }

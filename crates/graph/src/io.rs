@@ -70,7 +70,10 @@ pub fn read_dimacs(input: impl BufRead) -> std::io::Result<EdgeList> {
     }
     let n = n.ok_or_else(|| bad("missing p line"))?;
     if triples.len() != m {
-        return Err(bad(&format!("p line declared {m} edges, found {}", triples.len())));
+        return Err(bad(&format!(
+            "p line declared {m} edges, found {}",
+            triples.len()
+        )));
     }
     Ok(EdgeList::from_triples(n, triples))
 }
@@ -201,11 +204,26 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(read_dimacs("a 1 2 0.5\n".as_bytes()).is_err(), "missing p line");
-        assert!(read_dimacs("p sp 3 1\n".as_bytes()).is_err(), "edge count mismatch");
-        assert!(read_dimacs("p sp 3 1\na 0 2 1.0\n".as_bytes()).is_err(), "0-indexed vertex");
-        assert!(read_dimacs("q sp 3 1\n".as_bytes()).is_err(), "unknown line kind");
-        assert!(read_dimacs("p sp 3 1\na 1 2\n".as_bytes()).is_err(), "missing weight");
+        assert!(
+            read_dimacs("a 1 2 0.5\n".as_bytes()).is_err(),
+            "missing p line"
+        );
+        assert!(
+            read_dimacs("p sp 3 1\n".as_bytes()).is_err(),
+            "edge count mismatch"
+        );
+        assert!(
+            read_dimacs("p sp 3 1\na 0 2 1.0\n".as_bytes()).is_err(),
+            "0-indexed vertex"
+        );
+        assert!(
+            read_dimacs("q sp 3 1\n".as_bytes()).is_err(),
+            "unknown line kind"
+        );
+        assert!(
+            read_dimacs("p sp 3 1\na 1 2\n".as_bytes()).is_err(),
+            "missing weight"
+        );
     }
 
     #[test]
@@ -242,7 +260,10 @@ mod tests {
         let g = read_metis(text.as_bytes(), 1.0).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 2);
-        assert!(read_metis("3 2 011\n".as_bytes(), 1.0).is_err(), "vertex weights unsupported");
+        assert!(
+            read_metis("3 2 011\n".as_bytes(), 1.0).is_err(),
+            "vertex weights unsupported"
+        );
         assert!(read_metis("".as_bytes(), 1.0).is_err(), "empty file");
         assert!(
             read_metis("2 1 001\n2 5\n1 5\n3 1\n".as_bytes(), 1.0).is_err(),

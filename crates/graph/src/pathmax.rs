@@ -145,7 +145,6 @@ impl PathMaxForest {
         best = best.max(self.maxw[0][v as usize]);
         Some(best)
     }
-
 }
 
 #[cfg(test)]
@@ -229,11 +228,7 @@ mod tests {
     #[test]
     fn star_and_binary_tree() {
         // Star centered at 0.
-        let star = keyed(
-            &(1..50u32)
-                .map(|v| (0, v, f64::from(v)))
-                .collect::<Vec<_>>(),
-        );
+        let star = keyed(&(1..50u32).map(|v| (0, v, f64::from(v))).collect::<Vec<_>>());
         let pm = PathMaxForest::build(50, &star);
         assert_eq!(pm.path_max(3, 7).unwrap().w, OrderedWeight(7.0));
         assert_eq!(pm.path_max(49, 1).unwrap().w, OrderedWeight(49.0));
@@ -276,5 +271,67 @@ mod tests {
     fn rejects_cycles() {
         let edges = keyed(&[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
         PathMaxForest::build(3, &edges);
+    }
+
+    #[test]
+    fn empty_forest_and_single_vertex() {
+        let pm = PathMaxForest::build(0, &[]);
+        assert!(pm.up[0].is_empty());
+        let pm = PathMaxForest::build(1, &[]);
+        assert!(pm.connected(0, 0));
+        assert_eq!(pm.path_max(0, 0), None);
+        // Edgeless multi-vertex forest: everything is its own tree.
+        let pm = PathMaxForest::build(4, &[]);
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(pm.connected(u, v), u == v);
+                assert_eq!(pm.path_max(u, v), None);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_with_ids_against_insertion_order() {
+        // Equal weights, but ids deliberately NOT in insertion order: the
+        // key comparison must follow ids, not build order.
+        let edges = vec![
+            (0u32, 1u32, k(1.0, 9)),
+            (1, 2, k(1.0, 4)),
+            (2, 3, k(1.0, 7)),
+        ];
+        let pm = PathMaxForest::build(4, &edges);
+        assert_eq!(pm.path_max(0, 3), Some(k(1.0, 9)));
+        assert_eq!(pm.path_max(1, 3), Some(k(1.0, 7)));
+        assert_eq!(pm.path_max(1, 2), Some(k(1.0, 4)));
+    }
+
+    #[test]
+    fn many_small_trees_with_isolated_vertices() {
+        // Pairs (0,1), (4,5), … with isolated vertices 2, 3, 6, 7 between.
+        let edges = keyed(&[(0, 1, 3.0), (4, 5, 1.0), (8, 9, 2.0)]);
+        let pm = PathMaxForest::build(10, &edges);
+        assert_eq!(pm.path_max(0, 1), Some(k(3.0, 0)));
+        assert_eq!(pm.path_max(4, 5), Some(k(1.0, 1)));
+        assert_eq!(pm.path_max(0, 4), None);
+        assert_eq!(pm.path_max(2, 3), None);
+        assert!(!pm.connected(2, 6));
+        assert!(!pm.connected(1, 9));
+    }
+
+    #[test]
+    fn deep_chain_exercises_all_lifting_levels() {
+        // A 1000-vertex path: queries must climb ~10 lifting levels; the
+        // maximum sits mid-path so both endpoint climbs matter.
+        let n = 1000u32;
+        let raw: Vec<(u32, u32, f64)> = (0..n - 1)
+            .map(|v| (v, v + 1, if v == 499 { 1e6 } else { f64::from(v % 97) }))
+            .collect();
+        let edges = keyed(&raw);
+        let pm = PathMaxForest::build(n as usize, &edges);
+        assert_eq!(pm.path_max(0, n - 1), Some(k(1e6, 499)));
+        assert_eq!(pm.path_max(450, 550), Some(k(1e6, 499)));
+        // Entirely on one side of the spike.
+        assert_eq!(pm.path_max(0, 400), brute(n as usize, &edges, 0, 400));
+        assert_eq!(pm.path_max(600, 999), brute(n as usize, &edges, 600, 999));
     }
 }

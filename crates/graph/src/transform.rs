@@ -116,10 +116,7 @@ mod tests {
             component_count(&a) + component_count(&b)
         );
         // No cross edges: every edge lives entirely in one range.
-        assert!(u
-            .edges()
-            .iter()
-            .all(|e| (e.u < 50) == (e.v < 50)));
+        assert!(u.edges().iter().all(|e| (e.u < 50) == (e.v < 50)));
     }
 
     #[test]

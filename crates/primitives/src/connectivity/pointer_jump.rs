@@ -59,12 +59,13 @@ pub fn jump_to_roots(parent: &mut [u32]) {
                     let g = snapshot[*p as usize];
                     if g != *p {
                         *p = g;
-                        true
+                        1usize
                     } else {
-                        false
+                        0
                     }
                 })
-                .reduce(|| false, |a, b| a || b)
+                .sum::<usize>()
+                > 0
         } else {
             let mut any = false;
             for v in 0..n {
@@ -114,7 +115,9 @@ mod tests {
     fn large_star_and_long_chain() {
         let n = PAR_THRESHOLD + 100;
         // Long chain: v -> v-1, vertex 0 and 1 mutual.
-        let mut parent: Vec<u32> = (0..n).map(|v| if v == 0 { 1 } else { v as u32 - 1 }).collect();
+        let mut parent: Vec<u32> = (0..n)
+            .map(|v| if v == 0 { 1 } else { v as u32 - 1 })
+            .collect();
         resolve_pseudo_forest(&mut parent);
         assert!(parent.iter().all(|&p| p == 0));
 

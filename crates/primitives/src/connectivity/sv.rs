@@ -137,9 +137,6 @@ mod tests {
             edges.push((a + half, b + half));
         }
         let roots = connected_components(n, &edges);
-        assert_eq!(
-            roots,
-            components_union_find(n, edges.iter().copied())
-        );
+        assert_eq!(roots, components_union_find(n, edges.iter().copied()));
     }
 }

@@ -24,7 +24,8 @@ pub fn parallel_permutation(n: usize, p: usize, seed: u64) -> Vec<u32> {
     let scattered: Vec<Vec<Vec<u32>>> = (0..p)
         .into_par_iter()
         .map(|t| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(t as u64 + 1));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(t as u64 + 1));
             let mut buckets: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
             for v in block_range(n, p, t) {
                 buckets[rng.gen_range(0..p)].push(v as u32);

@@ -80,7 +80,9 @@ mod tests {
 
     #[test]
     fn sorts_large_inputs_across_block_counts() {
-        let data: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+        let data: Vec<u64> = (0..50_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
         let mut expect = data.clone();
         expect.sort_unstable();
         for blocks in [1, 2, 3, 7, 8] {

@@ -57,7 +57,9 @@ mod tests {
 
     #[test]
     fn sorts_u64_values() {
-        let mut v: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+        let mut v: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         radix_sort_by_key(&mut v, |&x| x);

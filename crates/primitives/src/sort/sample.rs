@@ -93,8 +93,7 @@ where
     let sorted_buckets: Vec<Vec<T>> = (0..buckets)
         .into_par_iter()
         .map(|b| {
-            let mut bucket: Vec<T> =
-                Vec::with_capacity(parts.iter().map(|p| p[b].len()).sum());
+            let mut bucket: Vec<T> = Vec::with_capacity(parts.iter().map(|p| p[b].len()).sum());
             for part in &parts {
                 bucket.extend_from_slice(&part[b]);
             }
@@ -126,7 +125,9 @@ mod tests {
 
     #[test]
     fn sorts_large_input() {
-        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
         let mut expect = data.clone();
         expect.sort_unstable();
         let got = sample_sort_by_key(data, |&x| x, cfg(4));
@@ -150,7 +151,9 @@ mod tests {
         assert!(got.iter().all(|&x| x == 7));
         assert_eq!(got.len(), 40_000);
 
-        let skew: Vec<u32> = (0..40_000).map(|i| if i % 100 == 0 { i as u32 } else { 3 }).collect();
+        let skew: Vec<u32> = (0..40_000)
+            .map(|i| if i % 100 == 0 { i as u32 } else { 3 })
+            .collect();
         let mut expect = skew.clone();
         expect.sort_unstable();
         assert_eq!(sample_sort_by_key(skew, |&x| x, cfg(8)), expect);

@@ -115,26 +115,29 @@ impl SmpTeam {
 /// assert_eq!(sums, vec![10, 10, 10, 10]);
 /// ```
 pub struct TeamReducer<T> {
-    slots: Vec<parking_lot::Mutex<Option<T>>>,
+    slots: Vec<std::sync::Mutex<Option<T>>>,
 }
 
 impl<T: Copy> TeamReducer<T> {
     /// Scratch for a team of width `p`.
     pub fn new(p: usize) -> Self {
         TeamReducer {
-            slots: (0..p.max(1)).map(|_| parking_lot::Mutex::new(None)).collect(),
+            slots: (0..p.max(1)).map(|_| std::sync::Mutex::new(None)).collect(),
         }
     }
 
     /// Deposit this rank's contribution. Call before the phase barrier.
     pub fn put(&self, rank: usize, value: T) {
-        *self.slots[rank].lock() = Some(value);
+        *self.slots[rank].lock().expect("reducer mutex poisoned") = Some(value);
     }
 
     /// Read rank `r`'s deposit (panics if it has not been put). Call after
     /// the phase barrier.
     pub fn get(&self, rank: usize) -> T {
-        self.slots[rank].lock().expect("rank deposited a value")
+        self.slots[rank]
+            .lock()
+            .expect("reducer mutex poisoned")
+            .expect("rank deposited a value")
     }
 
     /// Fold all deposits (missing deposits are skipped). Call after the
@@ -142,7 +145,7 @@ impl<T: Copy> TeamReducer<T> {
     pub fn fold(&self, init: T, f: impl Fn(T, T) -> T) -> T {
         self.slots
             .iter()
-            .filter_map(|s| *s.lock())
+            .filter_map(|s| *s.lock().expect("reducer mutex poisoned"))
             .fold(init, f)
     }
 
@@ -150,7 +153,7 @@ impl<T: Copy> TeamReducer<T> {
     /// rank, followed by a barrier).
     pub fn reset(&self) {
         for s in &self.slots {
-            *s.lock() = None;
+            *s.lock().expect("reducer mutex poisoned") = None;
         }
     }
 }

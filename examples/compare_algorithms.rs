@@ -9,8 +9,8 @@
 
 use msf_suite::core::{minimum_spanning_forest, Algorithm, MsfConfig};
 use msf_suite::graph::generators::{
-    geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured,
-    GeneratorConfig, StructuredKind,
+    geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured, GeneratorConfig,
+    StructuredKind,
 };
 use msf_suite::graph::EdgeList;
 
@@ -36,7 +36,10 @@ fn main() {
             format!("random n={} m={}", arg(1), arg(2)),
             random_graph(&cfg, arg(1), arg(2)),
         ),
-        Some("mesh") => (format!("mesh {0}x{0}", arg(1)), mesh2d(&cfg, arg(1), arg(1))),
+        Some("mesh") => (
+            format!("mesh {0}x{0}", arg(1)),
+            mesh2d(&cfg, arg(1), arg(1)),
+        ),
         Some("2d60") => (
             format!("2D60 {0}x{0}", arg(1)),
             mesh2d_random(&cfg, arg(1), arg(1), 0.6),

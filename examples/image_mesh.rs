@@ -46,10 +46,18 @@ fn main() {
     for r in 0..side {
         for c in 0..side {
             if c + 1 < side {
-                triples.push((id(r, c), id(r, c + 1), (img[r * side + c] - img[r * side + c + 1]).abs()));
+                triples.push((
+                    id(r, c),
+                    id(r, c + 1),
+                    (img[r * side + c] - img[r * side + c + 1]).abs(),
+                ));
             }
             if r + 1 < side {
-                triples.push((id(r, c), id(r + 1, c), (img[r * side + c] - img[(r + 1) * side + c]).abs()));
+                triples.push((
+                    id(r, c),
+                    id(r + 1, c),
+                    (img[r * side + c] - img[(r + 1) * side + c]).abs(),
+                ));
             }
         }
     }
@@ -72,11 +80,7 @@ fn main() {
     // Single-linkage segmentation: drop the k-1 heaviest forest edges.
     let regions = 4;
     let mut by_weight: Vec<u32> = msf.edges.clone();
-    by_weight.sort_unstable_by(|&a, &b| {
-        g.edge(a)
-            .key()
-            .cmp(&g.edge(b).key())
-    });
+    by_weight.sort_unstable_by(|&a, &b| g.edge(a).key().cmp(&g.edge(b).key()));
     let keep = &by_weight[..by_weight.len() - (regions - 1)];
     let mut uf = UnionFind::new(side * side);
     for &e in keep {

@@ -14,7 +14,12 @@ fn main() {
     let n = 50_000;
     let m = 300_000;
     let g = random_graph(&GeneratorConfig::with_seed(42), n, m);
-    println!("graph: {} vertices, {} edges (m/n = {:.1})", n, m, g.density());
+    println!(
+        "graph: {} vertices, {} edges (m/n = {:.1})",
+        n,
+        m,
+        g.density()
+    );
 
     // The paper's yardstick: the best of three sequential algorithms.
     let (best_name, best) = best_sequential(&g);
@@ -36,7 +41,10 @@ fn main() {
             r.stats.modeled_cost,
             r.edges.len()
         );
-        assert_eq!(r.edges, best.edges, "all algorithms agree on the unique MSF");
+        assert_eq!(
+            r.edges, best.edges,
+            "all algorithms agree on the unique MSF"
+        );
     }
     println!("all parallel algorithms verified against the sequential reference ✓");
 }

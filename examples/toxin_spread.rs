@@ -27,12 +27,15 @@ fn main() {
     let local = geometric_knn(&gen, population, 5);
     // Travel contacts: sparse random long-range links with high intensity
     // variance.
-    let travel = random_graph(&GeneratorConfig::with_seed(gen.seed + 1), population, population / 4);
+    let travel = random_graph(
+        &GeneratorConfig::with_seed(gen.seed + 1),
+        population,
+        population / 4,
+    );
 
     // Union of the two layers (the travel layer may duplicate a local link;
     // keep both — the MSF picks the lower-resistance copy).
-    let mut triples: Vec<(u32, u32, f64)> =
-        local.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    let mut triples: Vec<(u32, u32, f64)> = local.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
     triples.extend(travel.edges().iter().map(|e| (e.u, e.v, 0.2 + e.w)));
     let contacts = EdgeList::from_triples(population, triples);
     println!(
@@ -41,7 +44,8 @@ fn main() {
     );
 
     // Most-likely transmission backbone.
-    let backbone = minimum_spanning_forest(&contacts, Algorithm::MstBc, &MsfConfig::with_threads(4));
+    let backbone =
+        minimum_spanning_forest(&contacts, Algorithm::MstBc, &MsfConfig::with_threads(4));
     println!(
         "transmission backbone: {} links, {} isolated clusters, {:.3}s (MST-BC)",
         backbone.edges.len(),

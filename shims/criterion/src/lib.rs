@@ -1,0 +1,198 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach a crates.io registry, so the
+//! workspace replaces the registry `criterion` with this path crate. The
+//! bench sources keep their criterion spelling (`benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!`);
+//! running them (`cargo bench`) times each closure — one warm-up plus up to
+//! `sample_size` (capped at 16) measured iterations — and prints a
+//! `name/id: median per-iter` line instead of criterion's statistics and
+//! HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark label: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    report: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly; record the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        self.report = Some(median);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the measured-iteration count (capped at 16 to keep runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 16);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(median) => println!("{}/{}: {:?}/iter", self.name, id.0, median),
+            None => println!("{}/{}: no measurement", self.name, id.0),
+        }
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing is immediate here, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.benchmark_group("bench").run(id.into(), f);
+        self
+    }
+}
+
+/// Bundle bench functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let input = 21u64;
+        group
+            .bench_function(BenchmarkId::from_parameter("double"), |b| {
+                b.iter(|| black_box(2) * 2)
+            })
+            .bench_with_input(BenchmarkId::new("times2", input), &input, |b, &x| {
+                b.iter(|| x * 2)
+            });
+        group.finish();
+    }
+
+    #[test]
+    fn sample_size_is_clamped() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("clamp");
+        g.sample_size(10_000);
+        g.bench_function("tiny", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

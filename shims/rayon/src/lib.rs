@@ -1,0 +1,157 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment cannot reach a crates.io registry, so the
+//! workspace replaces the registry `rayon` with this path crate. Call sites
+//! keep rayon's spelling (`into_par_iter`, `par_iter`, `par_chunks`,
+//! `with_min_len`, `rayon::current_num_threads`, …) but the adapters return
+//! plain **sequential** `std` iterators, so every data-parallel chain runs
+//! deterministically on the calling thread.
+//!
+//! Real parallelism in the suite comes from `msf_primitives::team::SmpTeam`
+//! (std scoped threads), which the SPMD algorithm skeletons use directly.
+//! The `p` in `MsfConfig::threads` controls *logical* decomposition (block
+//! ranges, bucket counts) and is honored exactly as before, which is what
+//! the thread-count matrix in the test suite exercises. Swapping this shim
+//! back for the real crate only changes wall-clock, never results — every
+//! call site was already written to be order-independent or to reduce in
+//! rank order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Width rayon's global pool would have: the host's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures and return both results. Sequential here.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Iterator adapters mirroring `rayon::iter`.
+pub mod iter {
+    /// `into_par_iter()` for anything iterable (ranges, `Vec`, …). Returns
+    /// the type's ordinary sequential iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        #[inline]
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Indexed-iterator tuning knobs, accepted and ignored.
+    pub trait IndexedParallelIterator: Iterator + Sized {
+        /// No-op: splitting granularity has no meaning sequentially.
+        #[inline]
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// No-op: splitting granularity has no meaning sequentially.
+        #[inline]
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator + Sized> IndexedParallelIterator for I {}
+
+    /// `par_iter` / `par_chunks` over shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` over exclusive slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// The glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::iter::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chains_behave_like_std() {
+        let v: Vec<u32> = (0..10u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10u32).map(|x| x * 2).collect::<Vec<_>>());
+
+        let data = [1u32, 2, 3, 4, 5];
+        let sums: Vec<u32> = data.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7, 5]);
+
+        let mut out = vec![0u32; 4];
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tuning_knobs_are_identity() {
+        let n = 100usize;
+        let v: Vec<usize> = (0..n)
+            .into_par_iter()
+            .with_min_len(8)
+            .with_max_len(32)
+            .collect();
+        assert_eq!(v.len(), n);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

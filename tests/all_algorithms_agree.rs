@@ -59,7 +59,10 @@ fn disconnected_inputs_yield_forests() {
 
     let reference = minimum_spanning_forest(&g, Algorithm::Kruskal, &MsfConfig::default());
     let components = msf_suite::graph::validate::component_count(&g) as u32;
-    assert!(components >= 3 + 5, "at least 3 islands + 5 isolated vertices");
+    assert!(
+        components >= 3 + 5,
+        "at least 3 islands + 5 isolated vertices"
+    );
     assert_eq!(reference.components, components);
     assert_eq!(reference.edges.len(), 455 - components as usize);
     for algo in Algorithm::ALL {
@@ -120,11 +123,16 @@ fn star_graph_all_algorithms() {
 fn long_path_all_algorithms() {
     use msf_suite::graph::EdgeList;
     let n = 3000u32;
-    let triples: Vec<(u32, u32, f64)> =
-        (0..n - 1).map(|v| (v, v + 1, ((v * 7919) % 1000) as f64)).collect();
+    let triples: Vec<(u32, u32, f64)> = (0..n - 1)
+        .map(|v| (v, v + 1, ((v * 7919) % 1000) as f64))
+        .collect();
     let g = EdgeList::from_triples(n as usize, triples);
     for algo in Algorithm::ALL {
         let r = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(4));
-        assert_eq!(r.edges.len(), (n - 1) as usize, "{algo} must take every path edge");
+        assert_eq!(
+            r.edges.len(),
+            (n - 1) as usize,
+            "{algo} must take every path edge"
+        );
     }
 }

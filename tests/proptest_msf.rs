@@ -11,8 +11,8 @@ use msf_suite::primitives::unionfind::UnionFind;
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
     (2usize..60).prop_flat_map(|n| {
         let max_m = n * (n - 1) / 2;
-        proptest::collection::btree_set((0..n as u32, 0..n as u32), 0..max_m.min(120))
-            .prop_map(move |pairs| {
+        proptest::collection::btree_set((0..n as u32, 0..n as u32), 0..max_m.min(120)).prop_map(
+            move |pairs| {
                 let triples: Vec<(u32, u32, f64)> = pairs
                     .into_iter()
                     .filter(|&(a, b)| a != b)
@@ -23,14 +23,16 @@ fn arb_graph() -> impl Strategy<Value = EdgeList> {
                     .map(|(i, (a, b))| (a, b, ((i * 37) % 11) as f64 * 0.5))
                     .collect();
                 EdgeList::from_triples(n, triples)
-            })
+            },
+        )
     })
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Every algorithm returns the unique Kruskal forest.
+    /// Every algorithm returns the unique Kruskal forest AND passes the
+    /// Kruskal-independent optimality certificate.
     #[test]
     fn all_algorithms_match_reference(g in arb_graph(), p in 1usize..5) {
         let reference = minimum_spanning_forest(&g, Algorithm::Kruskal, &MsfConfig::default());
@@ -39,6 +41,9 @@ proptest! {
         for algo in Algorithm::ALL {
             let r = minimum_spanning_forest(&g, algo, &cfg);
             prop_assert_eq!(&r.edges, &reference.edges, "{} at p={}", algo, p);
+            if let Err(v) = msf_suite::core::certify::certify_msf_with(&g, &r, p) {
+                prop_assert!(false, "{} at p={} fails certification: {}", algo, p, v);
+            }
         }
     }
 
