@@ -6,6 +6,7 @@
 //! msf fuzz [--cases 500] [--seed 2026] [--corpus DIR] [--max-n 96] [--inject-failure]
 //! msf generate <kind> [params…] --out graph.gr [--weights uniform|small-int|exponential|bimodal]
 //! msf info <graph.gr>
+//! msf bench [--scale smoke|default|paper] [--seed 2026] [--json] [--out BENCH.json]
 //! ```
 //!
 //! Graphs are DIMACS-style (`p sp n m` + `a u v w` lines, 1-indexed). The
@@ -33,7 +34,8 @@ fn usage() -> ! {
          msf fuzz [--cases N] [--seed S] [--corpus DIR] [--max-n N] [--inject-failure]\n  \
          msf generate <random n m | mesh side | 2d60 side | 3d40 side | geometric n k | str0..str3 n>\n      \
          [--seed S] [--weights uniform|small-int|exponential|bimodal] --out FILE\n  \
-         msf info <graph.gr>\n\n\
+         msf info <graph.gr>\n  \
+         msf bench [--scale smoke|default|paper] [--seed S] [--json] [--out FILE]\n\n\
          algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc"
     );
     std::process::exit(2);
@@ -74,6 +76,7 @@ fn main() {
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("info") => info(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         _ => usage(),
     }
 }
@@ -324,6 +327,165 @@ fn generate(args: &[String]) {
         g.num_vertices(),
         g.num_edges()
     );
+}
+
+/// Benchmark inputs: one representative graph per generator family the
+/// paper sweeps (random, mesh, structured).
+fn bench_inputs(scale: msf_bench::Scale, seed: u64) -> Vec<(&'static str, String, EdgeList)> {
+    let n = scale.n();
+    let side = (n as f64).sqrt().round() as usize;
+    let cfg = GeneratorConfig::with_seed(seed);
+    vec![
+        (
+            "random",
+            format!("random n={n} m=6n"),
+            random_graph(&cfg, n, 6 * n),
+        ),
+        (
+            "mesh",
+            format!("mesh {side}x{side}"),
+            mesh2d(&cfg, side, side),
+        ),
+        (
+            "structured",
+            format!("str2 n={n}"),
+            structured(&cfg, StructuredKind::Str2, n),
+        ),
+    ]
+}
+
+fn bench(args: &[String]) {
+    let mut scale = msf_bench::Scale::Default;
+    let mut seed = 2026u64;
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| msf_bench::Scale::parse(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => json = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let scale_name = match scale {
+        msf_bench::Scale::Paper => "paper",
+        msf_bench::Scale::Default => "default",
+        msf_bench::Scale::Smoke => "smoke",
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let pool_width = msf_pool::width();
+    let sequential = msf_pool::sequential_env();
+
+    // Each entry: (generator family, graph name, |V|, |E|, per-algorithm sweeps).
+    type AlgoSweeps = Vec<(Algorithm, Vec<(msf_bench::Measurement, f64)>)>;
+    let mut report: Vec<(&'static str, String, usize, usize, AlgoSweeps)> = Vec::new();
+    for (family, name, g) in bench_inputs(scale, seed) {
+        eprintln!(
+            "bench: {name} ({} vertices, {} edges)",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let mut sweeps = Vec::new();
+        for algo in Algorithm::PARALLEL {
+            let sweep = msf_bench::sweep(&g, algo);
+            for (m, est) in &sweep {
+                eprintln!(
+                    "  {algo} p={}: wall {:.4}s, est {:.4}s (modeled cost {})",
+                    m.threads, m.wall_seconds, est, m.modeled_cost
+                );
+            }
+            sweeps.push((algo, sweep));
+        }
+        report.push((family, name, g.num_vertices(), g.num_edges(), sweeps));
+    }
+
+    if !json {
+        return;
+    }
+    // Hand-rolled JSON (no serde in the offline image). Every emitted string
+    // is generated here and contains no characters needing escapes.
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("  \"suite\": \"msf-bench\",\n");
+    doc.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    doc.push_str(&format!("  \"n\": {},\n", scale.n()));
+    doc.push_str(&format!("  \"seed\": {seed},\n"));
+    doc.push_str("  \"host\": {\n");
+    doc.push_str(&format!("    \"available_parallelism\": {cores},\n"));
+    doc.push_str(&format!("    \"pool_width\": {pool_width},\n"));
+    doc.push_str(&format!("    \"sequential\": {sequential},\n"));
+    doc.push_str(&format!(
+        "    \"proc_sweep\": [{}]\n",
+        msf_bench::PROC_SWEEP.map(|p| p.to_string()).join(", ")
+    ));
+    doc.push_str("  },\n");
+    doc.push_str("  \"graphs\": [\n");
+    for (gi, (family, name, vertices, edges, sweeps)) in report.iter().enumerate() {
+        doc.push_str("    {\n");
+        doc.push_str(&format!("      \"name\": \"{name}\",\n"));
+        doc.push_str(&format!("      \"generator\": \"{family}\",\n"));
+        doc.push_str(&format!("      \"vertices\": {vertices},\n"));
+        doc.push_str(&format!("      \"edges\": {edges},\n"));
+        doc.push_str("      \"algorithms\": [\n");
+        for (ai, (algo, sweep)) in sweeps.iter().enumerate() {
+            doc.push_str("        {\n");
+            doc.push_str(&format!("          \"algorithm\": \"{algo}\",\n"));
+            doc.push_str("          \"runs\": [\n");
+            for (ri, (m, est)) in sweep.iter().enumerate() {
+                doc.push_str(&format!(
+                    "            {{\"p\": {}, \"wall_seconds\": {:.6}, \"est_seconds\": {:.6}, \
+                     \"modeled_cost\": {}, \"forest_edges\": {}, \"total_weight\": {:.6}}}{}\n",
+                    m.threads,
+                    m.wall_seconds,
+                    est,
+                    m.modeled_cost,
+                    m.result.edges.len(),
+                    m.result.total_weight,
+                    if ri + 1 < sweep.len() { "," } else { "" }
+                ));
+            }
+            doc.push_str("          ]\n");
+            doc.push_str(&format!(
+                "        }}{}\n",
+                if ai + 1 < sweeps.len() { "," } else { "" }
+            ));
+        }
+        doc.push_str("      ]\n");
+        doc.push_str(&format!(
+            "    }}{}\n",
+            if gi + 1 < report.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("  ]\n");
+    doc.push_str("}\n");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, doc).expect("write bench JSON");
+            eprintln!("bench report written to {path}");
+        }
+        None => print!("{doc}"),
+    }
 }
 
 fn info(args: &[String]) {

@@ -1,0 +1,128 @@
+//! Reusable sense-reversing barrier for SPMD teams, with panic poisoning.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Panic payload thrown out of [`SenseBarrier::wait`] after the barrier has
+/// been poisoned by a sibling rank's panic. Team drivers treat it as a
+/// secondary casualty: when choosing which payload to propagate to the
+/// caller they prefer the original panic over this sentinel.
+#[derive(Debug)]
+pub struct BarrierPoisoned;
+
+/// A reusable barrier for a fixed team of `p` participants.
+///
+/// Sense reversal is encoded as a monotonically increasing generation
+/// counter: an arriver snapshots the generation, increments the arrival
+/// count, and (unless it is the last arriver, which resets the count and
+/// bumps the generation) waits for the generation to move. Waiting spins
+/// briefly, yields, then falls back to a condvar — the condvar path matters
+/// on hosts with fewer cores than ranks, where pure spinning would livelock
+/// the rank that needs the CPU.
+///
+/// Unlike `std::sync::Barrier`, this one can be **poisoned**: when a rank
+/// panics mid-phase it calls [`SenseBarrier::poison`], which wakes every
+/// current and future waiter by making `wait` panic with [`BarrierPoisoned`]
+/// instead of deadlocking on a rank that will never arrive.
+pub struct SenseBarrier {
+    participants: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl SenseBarrier {
+    /// A barrier for `p` participants (`p = 0` is clamped to 1).
+    pub fn new(p: usize) -> SenseBarrier {
+        SenseBarrier {
+            participants: p.max(1),
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants this barrier synchronizes.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// True once a rank has poisoned the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    #[cold]
+    fn panic_poisoned(&self) -> ! {
+        std::panic::panic_any(BarrierPoisoned)
+    }
+
+    /// Block until all `p` participants have called `wait` for the current
+    /// phase. Panics with [`BarrierPoisoned`] if the barrier is or becomes
+    /// poisoned.
+    pub fn wait(&self) {
+        if self.is_poisoned() {
+            self.panic_poisoned();
+        }
+        if self.participants == 1 {
+            return;
+        }
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            // Last arriver: open the next phase. Reset the count before
+            // publishing the new generation so early next-phase arrivers
+            // start from zero.
+            self.count.store(0, Ordering::Release);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+            let _guard = self.lock.lock().expect("barrier mutex poisoned");
+            self.cv.notify_all();
+            return;
+        }
+        let mut spins = 0u32;
+        loop {
+            if self.generation.load(Ordering::Acquire) != generation {
+                return;
+            }
+            if self.is_poisoned() {
+                self.panic_poisoned();
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 128 {
+                std::thread::yield_now();
+            } else {
+                let guard = self.lock.lock().expect("barrier mutex poisoned");
+                if self.generation.load(Ordering::Acquire) != generation {
+                    return;
+                }
+                if self.is_poisoned() {
+                    drop(guard);
+                    self.panic_poisoned();
+                }
+                // Timed wait: a notify sent between our generation check and
+                // the wait would otherwise be lost for good.
+                let _ = self
+                    .cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("barrier mutex poisoned");
+            }
+        }
+    }
+
+    /// Poison the barrier: every rank currently or subsequently blocked in
+    /// [`SenseBarrier::wait`] panics with [`BarrierPoisoned`] instead of
+    /// waiting forever for a rank that died. Called by team drivers from the
+    /// unwind path of a rank closure.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let _guard = self.lock.lock().expect("barrier mutex poisoned");
+        self.cv.notify_all();
+    }
+}

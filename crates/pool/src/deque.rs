@@ -1,0 +1,284 @@
+//! Bounded work-stealing deque with both cursors packed into one `AtomicU64`.
+//!
+//! This reuses the packed-CAS idiom proven in `msf_primitives::steal`: the
+//! `(head, tail)` cursor pair lives in a single 64-bit word (`head` in the
+//! high 32 bits, `tail` in the low 32), so every ownership transfer is one
+//! compare-exchange and there is no ABA window — `head` only ever grows, and
+//! a thief's CAS embeds the exact `(head, tail)` snapshot it read.
+//!
+//! Protocol (chase-lev shape, packed-cursor implementation):
+//! - the **owner** pushes and pops at `tail` (LIFO, keeps recursive splits
+//!   cache-hot),
+//! - **thieves** steal at `head` (FIFO, takes the oldest and therefore
+//!   biggest pending split first).
+//!
+//! A slot stores a [`JobRef`] as two plain `AtomicUsize` words written with
+//! `Relaxed` ordering; publication and consistency come from the packed CAS:
+//!
+//! - A pushed slot at index `t` can only be *overwritten* by a later push at
+//!   `t + CAPACITY`, which requires `head > t` to have been published first.
+//! - A thief reads the slot **before** its CAS and only keeps the value if
+//!   the CAS succeeds with the same `head` it read under. If the slot had
+//!   been overwritten meanwhile, `head` must have advanced and the CAS fails.
+//!   The successful CAS is a release-acquire RMW, so the slot reads cannot
+//!   sink below it.
+//!
+//! Capacity is fixed; a full deque rejects the push and the caller runs the
+//! job inline (a correct, merely less parallel, fallback).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::job::JobRef;
+
+/// Pending-job capacity per worker. Recursive halving of an n-element range
+/// enqueues O(log n) jobs per spine, so 1024 is far beyond realistic depth;
+/// overflow degrades to inline execution, never to an error.
+const CAPACITY: usize = 1024;
+const MASK: u32 = (CAPACITY - 1) as u32;
+
+#[inline]
+fn pack(head: u32, tail: u32) -> u64 {
+    (u64::from(head) << 32) | u64::from(tail)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+struct Slot {
+    data: AtomicUsize,
+    exec: AtomicUsize,
+}
+
+pub(crate) struct Deque {
+    /// `(head, tail)` packed as described in the module docs. Both cursors
+    /// increase monotonically and wrap mod 2^32; `tail - head` (wrapping) is
+    /// the current size.
+    cursors: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Deque {
+        let slots = (0..CAPACITY)
+            .map(|_| Slot {
+                data: AtomicUsize::new(0),
+                exec: AtomicUsize::new(0),
+            })
+            .collect();
+        Deque {
+            cursors: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        let (head, tail) = unpack(self.cursors.load(Ordering::Acquire));
+        tail.wrapping_sub(head) == 0
+    }
+
+    /// Owner-only: push a job at the tail. Returns `false` when full (the
+    /// caller should run the job inline).
+    pub(crate) fn push(&self, job: JobRef) -> bool {
+        let mut cur = self.cursors.load(Ordering::Acquire);
+        let (mut head, tail) = unpack(cur);
+        if tail.wrapping_sub(head) as usize >= CAPACITY {
+            return false;
+        }
+        // Only this thread moves `tail`, so the slot index is fixed and can
+        // be written before the publishing CAS (Relaxed is enough: the CAS
+        // below is a release operation and orders these stores before it).
+        let (data, exec) = job.into_raw();
+        let slot = &self.slots[(tail & MASK) as usize];
+        slot.data.store(data, Ordering::Relaxed);
+        slot.exec.store(exec, Ordering::Relaxed);
+        loop {
+            match self.cursors.compare_exchange_weak(
+                cur,
+                pack(head, tail.wrapping_add(1)),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => {
+                    // Only thieves race with the owner, and they only move
+                    // `head` forward — the deque can have gotten emptier,
+                    // never fuller, so the capacity check holds.
+                    cur = actual;
+                    let (new_head, new_tail) = unpack(actual);
+                    debug_assert_eq!(new_tail, tail, "tail moved by a non-owner");
+                    head = new_head;
+                }
+            }
+        }
+    }
+
+    /// Owner-only: pop the most recently pushed job (LIFO end).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let mut cur = self.cursors.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(cur);
+            if tail.wrapping_sub(head) == 0 {
+                return None;
+            }
+            let new_tail = tail.wrapping_sub(1);
+            match self.cursors.compare_exchange_weak(
+                cur,
+                pack(head, new_tail),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // The claim succeeded, so the slot is exclusively ours;
+                    // this thread also wrote it (owner pushes), so Relaxed
+                    // reads see the values by program order.
+                    let slot = &self.slots[(new_tail & MASK) as usize];
+                    let data = slot.data.load(Ordering::Relaxed);
+                    let exec = slot.exec.load(Ordering::Relaxed);
+                    // SAFETY: the words were stored by `push` from a live
+                    // JobRef, and the CAS transferred sole ownership to us.
+                    return Some(unsafe { JobRef::from_raw(data, exec) });
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Thief: steal the oldest pending job (FIFO end). Callable from any
+    /// thread.
+    pub(crate) fn steal(&self) -> Option<JobRef> {
+        let mut cur = self.cursors.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(cur);
+            if tail.wrapping_sub(head) == 0 {
+                return None;
+            }
+            // Read the slot BEFORE attempting the claim; see module docs for
+            // why a successful CAS proves these reads were not torn.
+            let slot = &self.slots[(head & MASK) as usize];
+            let data = slot.data.load(Ordering::Relaxed);
+            let exec = slot.exec.load(Ordering::Relaxed);
+            match self.cursors.compare_exchange_weak(
+                cur,
+                pack(head.wrapping_add(1), tail),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                // SAFETY: CAS success with the snapshot we read under means
+                // the slot still held this job when we claimed it.
+                Ok(_) => return Some(unsafe { JobRef::from_raw(data, exec) }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A job whose data pointer is a counter to bump; executing it proves
+    /// the deque handed it out.
+    fn counter_job(counter: &AtomicUsize) -> JobRef {
+        unsafe fn bump(ptr: *const ()) {
+            // SAFETY: `ptr` came from a live &AtomicUsize below.
+            let counter = unsafe { &*(ptr as *const AtomicUsize) };
+            counter.fetch_add(1, Ordering::SeqCst);
+        }
+        JobRef::new(counter as *const AtomicUsize as *const (), bump)
+    }
+
+    #[test]
+    fn owner_is_lifo_thieves_are_fifo() {
+        let deque = Deque::new();
+        let counters: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for counter in &counters {
+            assert!(deque.push(counter_job(counter)));
+        }
+        // Thief takes the oldest (index 0), owner the newest (index 3).
+        let stolen = deque.steal().expect("non-empty");
+        assert_eq!(stolen.id(), counters[0].as_ptr() as usize);
+        let popped = deque.pop().expect("non-empty");
+        assert_eq!(popped.id(), counters[3].as_ptr() as usize);
+        // Remaining: 1, 2.
+        assert_eq!(
+            deque.steal().expect("non-empty").id(),
+            counters[1].as_ptr() as usize
+        );
+        assert_eq!(
+            deque.pop().expect("non-empty").id(),
+            counters[2].as_ptr() as usize
+        );
+        assert!(deque.pop().is_none());
+        assert!(deque.steal().is_none());
+        assert!(deque.is_empty());
+    }
+
+    #[test]
+    fn full_deque_rejects_push() {
+        let deque = Deque::new();
+        let counter = AtomicUsize::new(0);
+        for _ in 0..CAPACITY {
+            assert!(deque.push(counter_job(&counter)));
+        }
+        assert!(!deque.push(counter_job(&counter)));
+        // Draining one slot re-admits pushes.
+        assert!(deque.steal().is_some());
+        assert!(deque.push(counter_job(&counter)));
+    }
+
+    /// Exactly-once delivery under contention: an owner pushing and popping
+    /// races several thieves; every pushed job must be claimed by exactly
+    /// one side, none lost, none duplicated.
+    #[test]
+    fn contended_claims_are_exactly_once() {
+        const JOBS: usize = 20_000;
+        const THIEVES: usize = 3;
+        let deque = Deque::new();
+        let executed = AtomicUsize::new(0);
+        let counter = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                scope.spawn(|| {
+                    while done.load(Ordering::SeqCst) == 0 || !deque.is_empty() {
+                        if let Some(job) = deque.steal() {
+                            // SAFETY: claims are exclusive; job data is the
+                            // live counter above.
+                            unsafe { job.execute() };
+                            executed.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            let mut pushed = 0usize;
+            while pushed < JOBS {
+                if deque.push(counter_job(&counter)) {
+                    pushed += 1;
+                }
+                // Interleave owner pops to exercise the tail CAS race.
+                if pushed.is_multiple_of(7) {
+                    if let Some(job) = deque.pop() {
+                        // SAFETY: as above.
+                        unsafe { job.execute() };
+                        executed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            done.store(1, Ordering::SeqCst);
+        });
+        // Drain anything the thieves left behind after `done`.
+        while let Some(job) = deque.pop() {
+            // SAFETY: as above.
+            unsafe { job.execute() };
+            executed.fetch_add(1, Ordering::SeqCst);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), JOBS, "every job ran once");
+        assert_eq!(executed.load(Ordering::SeqCst), JOBS, "claims were unique");
+    }
+}

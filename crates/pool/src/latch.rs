@@ -1,0 +1,60 @@
+//! A one-shot completion latch with a park/unpark slow path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+
+const PENDING: usize = 0;
+const SET: usize = 1;
+
+/// One-shot latch: starts pending, is set exactly once, and wakes at most
+/// one parked waiter. `set` is a release operation and `probe` an acquire,
+/// so everything written before `set` is visible after a true `probe`.
+pub(crate) struct Latch {
+    state: AtomicUsize,
+    waiter: Mutex<Option<Thread>>,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            state: AtomicUsize::new(PENDING),
+            waiter: Mutex::new(None),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.state.load(Ordering::Acquire) == SET
+    }
+
+    pub(crate) fn set(&self) {
+        self.state.store(SET, Ordering::Release);
+        let waiter = self.waiter.lock().expect("latch mutex poisoned").take();
+        if let Some(thread) = waiter {
+            thread.unpark();
+        }
+    }
+
+    /// Block the calling thread until the latch is set. Used by threads that
+    /// are not pool workers (workers steal work instead of parking; see
+    /// `Registry::wait_latch_stealing`).
+    pub(crate) fn wait_parked(&self) {
+        for _ in 0..64 {
+            if self.probe() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        *self.waiter.lock().expect("latch mutex poisoned") = Some(std::thread::current());
+        loop {
+            // Re-check after registering: `set` may have run in between and
+            // missed the registration, but then this probe sees SET.
+            if self.probe() {
+                *self.waiter.lock().expect("latch mutex poisoned") = None;
+                return;
+            }
+            std::thread::park();
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! `msf_pool`: the persistent work-stealing execution backend under the
+//! workspace's `rayon` facade and `SmpTeam`.
+//!
+//! The pool is **lazily initialized** (first `join`/width query builds it),
+//! **process-global** (one registry, leaked for `'static`), and
+//! **persistent** (workers live for the process; SPMD leases reuse cached
+//! dedicated threads). Two kinds of threads exist:
+//!
+//! - **Stealing workers** ([`registry`]): run fork-join jobs from per-worker
+//!   chase-lev-style deques (packed-CAS cursors, the `steal.rs` idiom) plus
+//!   an injector for external submissions. These power `rayon::join` and
+//!   every `par_iter` chain.
+//! - **Team threads** ([`team`]): dedicated threads leased per
+//!   `SmpTeam::run` to host barrier-synchronized SPMD ranks, which must not
+//!   share stealing workers (blocking a worker on a barrier under the deque
+//!   stack discipline can deadlock when ranks outnumber cores).
+//!
+//! # Sequential escape hatch
+//! Three independent switches force the exact pre-pool sequential behaviour
+//! (same thread, same order, no pool threads touched):
+//!
+//! - `MSF_SEQUENTIAL=1` (or `true`/`yes`) in the environment,
+//! - the `sequential` cargo feature,
+//! - [`with_sequential`], a scoped, thread-local override for in-process
+//!   A/B comparisons (used by the thread-count matrix tests).
+//!
+//! # Width
+//! `MSF_POOL_THREADS` pins the worker count; otherwise the host's available
+//! parallelism is used. The width is frozen at first pool touch.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+mod deque;
+mod job;
+mod latch;
+mod registry;
+pub mod slots;
+pub mod team;
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+pub use barrier::{BarrierPoisoned, SenseBarrier};
+pub use slots::RankSlots;
+pub use team::{run_team, run_team_collect};
+
+/// True when the process-wide sequential escape hatch is on: either the
+/// `sequential` cargo feature or `MSF_SEQUENTIAL=1|true|yes` in the
+/// environment (checked once, at first use).
+pub fn sequential_env() -> bool {
+    if cfg!(feature = "sequential") {
+        return true;
+    }
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("MSF_SEQUENTIAL")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                !v.is_empty() && v != "0" && v != "false" && v != "no"
+            })
+            .unwrap_or(false)
+    })
+}
+
+thread_local! {
+    static SEQ_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// True when the calling thread must execute sequentially: the process-wide
+/// escape hatch is on, or the call is inside [`with_sequential`].
+#[inline]
+pub fn sequential_here() -> bool {
+    SEQ_DEPTH.with(Cell::get) > 0 || sequential_env()
+}
+
+/// Run `f` with the sequential escape hatch forced on for the calling
+/// thread (nesting-safe). Everything under `f` that consults the pool —
+/// `join`, the rayon facade, `SmpTeam` — runs inline on this thread in
+/// deterministic sequential order, exactly like `MSF_SEQUENTIAL=1`.
+pub fn with_sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SEQ_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    SEQ_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = Guard;
+    f()
+}
+
+static WIDTH: OnceLock<usize> = OnceLock::new();
+
+/// The pool width: `MSF_POOL_THREADS` if set (clamped to 1..=1024), else
+/// the host's available parallelism. Frozen at first call.
+pub fn width() -> usize {
+    *WIDTH.get_or_init(|| {
+        if let Ok(v) = std::env::var("MSF_POOL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 1024);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Pin the pool width before the pool's first use, for tests that need a
+/// specific width regardless of the host (e.g. forcing real concurrency on
+/// a 1-core CI runner). No-op if the width is already frozen; returns the
+/// effective width.
+#[doc(hidden)]
+pub fn force_width(n: usize) -> usize {
+    let _ = WIDTH.set(n.clamp(1, 1024));
+    width()
+}
+
+/// Potentially-parallel `join`: runs `a` on the calling thread while `b` is
+/// offered to the pool, returning both results.
+///
+/// Runs strictly sequentially as `(a(), b())` when [`sequential_here`] is
+/// true or the pool width is 1 (the pool is then never even started).
+///
+/// # Panics
+/// If both closures panic, `a`'s payload is propagated (matching the
+/// sequential order of observation); either way the other closure is fully
+/// settled before unwinding.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if sequential_here() || width() == 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    registry::join(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Tests share a process: pin the width before any pool touch so every
+    /// test sees real concurrency even on a 1-core host.
+    fn pool_width_4() {
+        force_width(4);
+    }
+
+    #[test]
+    fn join_returns_both_and_nests() {
+        pool_width_4();
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            if range.end - range.start <= 64 {
+                return range.sum();
+            }
+            let mid = range.start + (range.end - range.start) / 2;
+            let (a, b) = join(|| sum(range.start..mid), || sum(mid..range.end));
+            a + b
+        }
+        assert_eq!(sum(0..10_000), (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn join_runs_closures_exactly_once() {
+        pool_width_4();
+        for _ in 0..200 {
+            let calls = Arc::new(AtomicUsize::new(0));
+            let (ca, cb) = (Arc::clone(&calls), Arc::clone(&calls));
+            let (ra, rb) = join(
+                move || ca.fetch_add(1, Ordering::SeqCst),
+                move || cb.fetch_add(1, Ordering::SeqCst),
+            );
+            assert_eq!(calls.load(Ordering::SeqCst), 2);
+            // fetch_add returns the prior count: one side saw 0, the other 1.
+            assert_eq!(ra + rb, 1);
+        }
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        pool_width_4();
+        let caught = std::panic::catch_unwind(|| join(|| -> u32 { panic!("side a") }, || 7u32));
+        assert!(caught.is_err());
+        let caught = std::panic::catch_unwind(|| join(|| 7u32, || -> u32 { panic!("side b") }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn with_sequential_is_scoped_and_nested() {
+        assert_eq!(SEQ_DEPTH.with(Cell::get), 0);
+        with_sequential(|| {
+            assert!(sequential_here());
+            with_sequential(|| assert!(sequential_here()));
+            assert!(sequential_here());
+        });
+        assert_eq!(SEQ_DEPTH.with(Cell::get), 0);
+    }
+
+    #[test]
+    fn sequential_join_preserves_evaluation_order() {
+        pool_width_4();
+        with_sequential(|| {
+            let order = AtomicUsize::new(0);
+            let (a, b) = join(
+                || {
+                    assert_eq!(order.swap(1, Ordering::SeqCst), 0);
+                    1
+                },
+                || {
+                    assert_eq!(order.swap(2, Ordering::SeqCst), 1);
+                    2
+                },
+            );
+            assert_eq!((a, b), (1, 2));
+        });
+    }
+
+    #[test]
+    fn run_team_collect_returns_rank_order() {
+        pool_width_4();
+        for p in [1usize, 2, 3, 7, 8] {
+            let out = run_team_collect(p, |rank| rank * 10);
+            assert_eq!(out, (0..p).map(|r| r * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_team_ranks_run_concurrently_across_barrier() {
+        pool_width_4();
+        let p = 4;
+        let barrier = SenseBarrier::new(p);
+        let phase1 = AtomicUsize::new(0);
+        let phase2 = AtomicUsize::new(0);
+        run_team(p, &|_rank| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+            // Every rank must have finished phase 1 before any enters 2.
+            assert_eq!(phase1.load(Ordering::SeqCst), p);
+            phase2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(phase2.load(Ordering::SeqCst), p);
+    }
+
+    #[test]
+    fn run_team_propagates_original_panic_over_barrier_poison() {
+        pool_width_4();
+        let p = 3;
+        let barrier = SenseBarrier::new(p);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_team(p, &|rank| {
+                if rank == 1 {
+                    barrier.poison();
+                    panic!("rank 1 died");
+                }
+                barrier.wait(); // poisoned → BarrierPoisoned panic
+            });
+        }));
+        let payload = caught.expect_err("team panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied();
+        assert_eq!(msg, Some("rank 1 died"), "original panic must win");
+        assert!(barrier.is_poisoned());
+    }
+
+    #[test]
+    fn sense_barrier_is_reusable_across_phases() {
+        pool_width_4();
+        let p = 4;
+        let barrier = SenseBarrier::new(p);
+        let counter = AtomicUsize::new(0);
+        run_team(p, &|_rank| {
+            for phase in 0..50usize {
+                counter.fetch_add(1, Ordering::SeqCst);
+                barrier.wait();
+                // All p increments of this phase (and no later ones — the
+                // second wait below holds everyone) are in.
+                assert_eq!(counter.load(Ordering::SeqCst), (phase + 1) * p);
+                barrier.wait();
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50 * p);
+    }
+
+    #[test]
+    fn rank_slots_publish_and_fold_in_rank_order() {
+        let slots: RankSlots<u64> = RankSlots::new(5);
+        slots.put(3, 30);
+        slots.put(1, 10);
+        assert_eq!(slots.get(1), 10);
+        assert_eq!(slots.get(3), 30);
+        let folded = slots.fold(Vec::new(), |mut acc, v| {
+            acc.push(v);
+            acc
+        });
+        assert_eq!(folded, vec![10, 30]);
+        slots.reset();
+        assert_eq!(slots.fold(0u64, |a, v| a + v), 0);
+    }
+
+    /// Loom-style interleaving exercise: writer ranks publish multi-word
+    /// values while rank 0 races `fold` against them, for many rounds (a
+    /// scheduler fuzz — real loom is unavailable offline). Every value the
+    /// reader observes must be internally consistent, i.e. publication is
+    /// all-or-nothing, never torn.
+    #[test]
+    fn rank_slots_interleaved_publication_is_never_torn() {
+        pool_width_4();
+        let p = 4;
+        for round in 0..200u64 {
+            let slots: RankSlots<[u64; 3]> = RankSlots::new(p);
+            let barrier = SenseBarrier::new(p);
+            run_team(p, &|rank| {
+                let base = round * 1_000 + rank as u64;
+                barrier.wait(); // start gun
+                if rank == 0 {
+                    // Busy-poll until all writers are visible, checking
+                    // consistency of everything seen along the way.
+                    loop {
+                        let seen = slots.fold(0usize, |acc, v| {
+                            assert_eq!(v[0] + 1, v[1], "torn publication");
+                            assert_eq!(v[0] + 2, v[2], "torn publication");
+                            acc + 1
+                        });
+                        if seen == p - 1 {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                } else {
+                    slots.put(rank, [base, base + 1, base + 2]);
+                }
+            });
+            for writer in 1..p {
+                assert_eq!(slots.get(writer)[0], round * 1_000 + writer as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Padded, lock-free per-rank publication slots for team reductions.
+//!
+//! Each rank owns exactly one slot; `put(rank, v)` is rank-exclusive by the
+//! team contract, so no mutex is needed — a slot is a small state machine
+//! (`EMPTY → WRITING → FULL`) published with a release store and consumed
+//! with an acquire load. Slots are padded to 128 bytes so neighbouring
+//! ranks' deposits never share a cache line (no false sharing on the hot
+//! barrier path).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const EMPTY: u8 = 0;
+const WRITING: u8 = 1;
+const FULL: u8 = 2;
+
+/// One cache-line-padded slot. 128 bytes covers the common 64-byte line and
+/// the 128-byte spatial prefetcher pairs on x86.
+#[repr(align(128))]
+struct Slot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// `p` single-writer slots indexed by team rank.
+///
+/// The contract mirrors `TeamReducer`: at most one `put` per rank per phase
+/// (concurrent puts to the *same* rank are a bug and panic), reads happen
+/// after a barrier or latch so `Acquire`/`Release` on the slot state is the
+/// only synchronization needed. `T: Copy` keeps reads non-destructive and
+/// makes `reset` trivial (no drops owed).
+pub struct RankSlots<T> {
+    slots: Box<[Slot<T>]>,
+}
+
+// SAFETY: every value access is guarded by the slot's atomic state with
+// release/acquire ordering, and the single-writer-per-rank contract (puts to
+// the same rank are serialized by the caller; violations detected and
+// panicked) makes the UnsafeCell accesses data-race-free. T: Send suffices
+// because values cross threads by copy.
+unsafe impl<T: Copy + Send> Sync for RankSlots<T> {}
+unsafe impl<T: Copy + Send> Send for RankSlots<T> {}
+
+impl<T: Copy + Send> RankSlots<T> {
+    /// `p` empty slots (`p = 0` clamps to 1).
+    pub fn new(p: usize) -> RankSlots<T> {
+        let slots = (0..p.max(1))
+            .map(|_| Slot {
+                state: AtomicU8::new(EMPTY),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        RankSlots { slots }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no slots (never: `new` clamps to 1).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Deposit `rank`'s value, overwriting any previous deposit. Panics if
+    /// another `put` to the same rank is in flight (contract violation).
+    pub fn put(&self, rank: usize, value: T) {
+        let slot = &self.slots[rank];
+        // Acquire pairs with the Release of a previous phase's put, so the
+        // overwrite of the old value is ordered after its publication.
+        let prev = slot.state.swap(WRITING, Ordering::Acquire);
+        assert_ne!(prev, WRITING, "concurrent put() to team rank {rank}");
+        // SAFETY: the swap above moved the slot to WRITING, and the
+        // single-writer contract means no other thread writes this rank;
+        // readers observing WRITING spin until FULL.
+        unsafe { (*slot.value.get()).write(value) };
+        slot.state.store(FULL, Ordering::Release);
+    }
+
+    /// Read `rank`'s deposit. Panics if the rank never deposited; spins out
+    /// a concurrent `put` (the caller normally orders `get` after a barrier,
+    /// making that window empty).
+    pub fn get(&self, rank: usize) -> T {
+        self.read(rank)
+            .unwrap_or_else(|| panic!("team rank {rank} has not deposited a value"))
+    }
+
+    /// Fold the deposited values in rank order, skipping empty slots.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, T) -> A) -> A {
+        let mut acc = init;
+        for rank in 0..self.slots.len() {
+            if let Some(value) = self.read(rank) {
+                acc = f(acc, value);
+            }
+        }
+        acc
+    }
+
+    /// Clear all slots for the next phase. Caller must ensure no concurrent
+    /// puts/gets (normally: between team runs).
+    pub fn reset(&self) {
+        for slot in self.slots.iter() {
+            // T: Copy means no destructor is owed for the stale value.
+            slot.state.store(EMPTY, Ordering::Release);
+        }
+    }
+
+    fn read(&self, rank: usize) -> Option<T> {
+        let slot = &self.slots[rank];
+        let mut spins = 0u32;
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                // SAFETY: FULL was published with Release after the value
+                // write, and T: Copy lets us read without taking ownership.
+                FULL => return Some(unsafe { (*slot.value.get()).assume_init() }),
+                EMPTY => return None,
+                _ => {
+                    // A put is mid-write; it finishes in a handful of
+                    // instructions.
+                    spins += 1;
+                    if spins < 128 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Leasable SPMD team threads: persistent dedicated threads that run one
+//! rank of a team closure per lease, then return to an idle cache.
+//!
+//! Team ranks **cannot** run on the stealing workers: a rank blocks on
+//! barriers until every sibling rank has arrived, and with `p` ranks
+//! multiplexed onto fewer stealing workers under the deque's stack
+//! discipline the team would deadlock (a worker cannot suspend rank i to go
+//! run rank j). So SPMD leases draw from a separate, growable cache of
+//! plain threads whose only job is running rank closures to completion.
+//! They are as persistent as the stealing workers — a `SmpTeam::run` per
+//! Borůvka phase reuses them instead of paying a spawn+join per phase.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::latch::Latch;
+
+/// A panic payload captured from one rank, tagged with the rank.
+pub type RankPanic = (usize, Box<dyn std::any::Any + Send + 'static>);
+
+/// Lifetime-erased shared reference to the rank closure. Sound because
+/// `run_team` latch-joins every rank before returning, so the erased borrow
+/// never outlives the real one.
+#[derive(Clone, Copy)]
+struct TeamFn(&'static (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is Sync (shared calls are safe) and the latch-join
+// discipline keeps it alive for every use.
+unsafe impl Send for TeamFn {}
+
+/// Shared state for one team invocation.
+struct TeamRun {
+    f: TeamFn,
+    /// Ranks still running on leased threads (rank 0 runs on the caller and
+    /// is not counted).
+    remaining: AtomicUsize,
+    latch: Latch,
+    panics: Mutex<Vec<RankPanic>>,
+}
+
+/// One leased thread's mailbox.
+struct TeamThread {
+    mailbox: Mutex<Option<(Arc<TeamRun>, usize)>>,
+    cv: Condvar,
+}
+
+fn idle_threads() -> &'static Mutex<Vec<Arc<TeamThread>>> {
+    static IDLE: OnceLock<Mutex<Vec<Arc<TeamThread>>>> = OnceLock::new();
+    IDLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn team_thread_main(me: Arc<TeamThread>) {
+    loop {
+        let (run, rank) = {
+            let mut mailbox = me.mailbox.lock().expect("team mailbox poisoned");
+            loop {
+                if let Some(assignment) = mailbox.take() {
+                    break assignment;
+                }
+                mailbox = me.cv.wait(mailbox).expect("team mailbox poisoned");
+            }
+        };
+        let f = run.f;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (f.0)(rank))) {
+            run.panics
+                .lock()
+                .expect("team panic list poisoned")
+                .push((rank, payload));
+        }
+        if run.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            run.latch.set();
+        }
+        drop(run);
+        idle_threads()
+            .lock()
+            .expect("team idle list poisoned")
+            .push(Arc::clone(&me));
+    }
+}
+
+fn lease_thread() -> Arc<TeamThread> {
+    if let Some(thread) = idle_threads()
+        .lock()
+        .expect("team idle list poisoned")
+        .pop()
+    {
+        return thread;
+    }
+    let thread = Arc::new(TeamThread {
+        mailbox: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    let clone = Arc::clone(&thread);
+    std::thread::Builder::new()
+        .name("msf-team".to_string())
+        .spawn(move || team_thread_main(clone))
+        .expect("failed to spawn team thread");
+    thread
+}
+
+fn assign(thread: &TeamThread, run: Arc<TeamRun>, rank: usize) {
+    let mut mailbox = thread.mailbox.lock().expect("team mailbox poisoned");
+    debug_assert!(mailbox.is_none(), "leased team thread already assigned");
+    *mailbox = Some((run, rank));
+    thread.cv.notify_one();
+}
+
+/// Run `f(rank)` for every `rank in 0..p`, rank 0 inline on the caller and
+/// ranks `1..p` on leased team threads, returning once all ranks finish.
+///
+/// # Panic propagation
+/// If any rank panics, the driver still waits for every other rank to
+/// finish (they typically die quickly on a poisoned barrier), then rethrows
+/// the **lowest-ranked non-[`BarrierPoisoned`]** payload — the original
+/// casualty, not a secondary barrier abort. If every payload is
+/// `BarrierPoisoned` (possible only if the caller poisoned the barrier
+/// itself), the lowest-ranked one is rethrown.
+pub fn run_team(p: usize, f: &(dyn Fn(usize) + Sync)) {
+    if p <= 1 {
+        f(0);
+        return;
+    }
+    // SAFETY: lifetime erasure only; the latch-join below outlives every
+    // dereference of the erased borrow.
+    let erased: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+    let run = Arc::new(TeamRun {
+        f: TeamFn(erased),
+        remaining: AtomicUsize::new(p - 1),
+        latch: Latch::new(),
+        panics: Mutex::new(Vec::new()),
+    });
+    for rank in 1..p {
+        assign(&lease_thread(), Arc::clone(&run), rank);
+    }
+    let rank0 = catch_unwind(AssertUnwindSafe(|| f(0)));
+    // Always settle ranks 1..p before unwinding: they borrow `f` and
+    // whatever the closure captures from this frame.
+    run.latch.wait_parked();
+    let mut panics = std::mem::take(&mut *run.panics.lock().expect("team panic list poisoned"));
+    if let Err(payload) = rank0 {
+        panics.push((0, payload));
+    }
+    if panics.is_empty() {
+        return;
+    }
+    panics.sort_by_key(|(rank, _)| *rank);
+    let original = panics
+        .iter()
+        .position(|(_, payload)| !payload.is::<crate::barrier::BarrierPoisoned>())
+        .unwrap_or(0);
+    let (_, payload) = panics.swap_remove(original);
+    std::panic::resume_unwind(payload)
+}
+
+/// [`run_team`] with per-rank results: returns `results[rank] = f(rank)` in
+/// rank order. Panics propagate per the `run_team` contract; on panic the
+/// partial results are dropped correctly.
+pub fn run_team_collect<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let p = p.max(1);
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    {
+        let slots = ResultSlots {
+            ptr: results.as_mut_ptr(),
+        };
+        run_team(p, &move |rank| {
+            let value = f(rank);
+            // SAFETY: each rank writes only its own disjoint slot, and the
+            // Vec outlives run_team's latch-join.
+            unsafe { slots.write(rank, value) };
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("team rank completed without a result"))
+        .collect()
+}
+
+/// Raw pointer wrapper so the rank closure (which must be Sync) can carry
+/// the result-slot base pointer.
+#[derive(Clone, Copy)]
+struct ResultSlots<R> {
+    ptr: *mut Option<R>,
+}
+
+impl<R> ResultSlots<R> {
+    /// # Safety
+    /// `rank` must be this caller's exclusive in-bounds slot, and the
+    /// owning `Vec` must outlive the write.
+    unsafe fn write(&self, rank: usize, value: R) {
+        // SAFETY: forwarded contract.
+        unsafe { *self.ptr.add(rank) = Some(value) }
+    }
+}
+
+// SAFETY: ranks write disjoint indices; the owning Vec outlives the team.
+unsafe impl<R: Send> Send for ResultSlots<R> {}
+unsafe impl<R: Send> Sync for ResultSlots<R> {}

@@ -7,6 +7,11 @@
 //!
 //! * [`team`] — an SPMD thread team with reusable barriers, the execution
 //!   model every per-processor algorithm in the paper is written against.
+//! * [`pool`] — the persistent work-stealing execution backend (re-export
+//!   of the `msf-pool` crate): process-global stealing workers with
+//!   chase-lev-style deques behind the `rayon` facade, leasable team
+//!   threads behind [`team::SmpTeam`], sense-reversing barriers, and the
+//!   `MSF_SEQUENTIAL` escape hatch.
 //! * [`prefix`] — sequential and parallel prefix sums and compaction.
 //! * [`sort`] — insertion sort, non-recursive merge sort, and the parallel
 //!   sample sort used by the Bor-EL compact-graph step.
@@ -27,6 +32,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use msf_pool as pool;
 
 pub mod arena;
 pub mod connectivity;

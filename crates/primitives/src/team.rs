@@ -3,15 +3,37 @@
 //! The paper's algorithms are written per-processor ("for processor pi,
 //! 0 ≤ i ≤ p−1") with implicit barrier synchronization between steps — the
 //! execution model of the SIMPLE library the authors built on. [`SmpTeam`]
-//! reproduces it: `p` OS threads run the same closure, each sees its rank,
-//! and [`TeamCtx::barrier`] lines the phases up.
+//! reproduces it: `p` ranks run the same closure, each sees its rank, and
+//! [`TeamCtx::barrier`] lines the phases up.
 //!
-//! Data-parallel primitives (sorts, scans) use rayon internally; the SPMD
-//! team is reserved for the algorithm skeletons whose structure genuinely is
-//! "p coordinated sequential programs", like MST-BC's concurrent Prim
-//! growth.
+//! Since the pool backend landed, `run` **leases** `p` persistent team
+//! threads from [`msf_pool`] instead of spawning (and joining) `p` OS
+//! threads per invocation — a Borůvka algorithm calling `run` once per
+//! phase pays thread startup once per *process*, not once per phase. The
+//! rank barrier is a reusable [sense-reversing barrier](msf_pool::SenseBarrier).
+//! Under `MSF_SEQUENTIAL=1` (or `msf_pool::with_sequential`) `run` falls
+//! back to the pre-pool scoped-thread implementation so the pool is never
+//! touched, and nested data-parallel calls inside the closure stay
+//! sequential too.
+//!
+//! # Panic propagation contract
+//! If any rank's closure panics, `run` (both paths) first **poisons the
+//! team barrier** — every sibling rank blocked in, or later reaching,
+//! [`TeamCtx::barrier`] aborts by panicking with
+//! [`msf_pool::BarrierPoisoned`] instead of deadlocking on the dead rank —
+//! then waits for every rank to settle, and finally re-throws the
+//! lowest-ranked *original* payload (secondary `BarrierPoisoned` casualties
+//! are never chosen over the real panic). Partial per-rank results are
+//! dropped.
+//!
+//! Data-parallel primitives (sorts, scans) use the rayon facade internally;
+//! the SPMD team is reserved for the algorithm skeletons whose structure
+//! genuinely is "p coordinated sequential programs", like MST-BC's
+//! concurrent Prim growth.
 
-use std::sync::Barrier;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use msf_pool::{BarrierPoisoned, RankSlots, SenseBarrier};
 
 /// Handle given to every member of a running team.
 pub struct TeamCtx<'a> {
@@ -19,11 +41,12 @@ pub struct TeamCtx<'a> {
     pub rank: usize,
     /// Team width.
     pub p: usize,
-    barrier: &'a Barrier,
+    barrier: &'a SenseBarrier,
 }
 
 impl TeamCtx<'_> {
-    /// Block until every team member arrives.
+    /// Block until every team member arrives. Panics with
+    /// [`msf_pool::BarrierPoisoned`] if a sibling rank has panicked.
     #[inline]
     pub fn barrier(&self) {
         self.barrier.wait();
@@ -36,9 +59,9 @@ impl TeamCtx<'_> {
     }
 }
 
-/// A fixed-width SPMD team. Creating the team is cheap; each [`SmpTeam::run`]
-/// spawns `p` scoped threads (the paper's algorithms launch one team per
-/// algorithm invocation, so spawn cost is amortized over whole MSF runs).
+/// A fixed-width SPMD team. Creating the team is free; [`SmpTeam::run`]
+/// leases persistent pool threads, so repeated runs (one per Borůvka phase)
+/// reuse the same OS threads and a reusable sense-reversing barrier.
 #[derive(Debug, Clone, Copy)]
 pub struct SmpTeam {
     p: usize,
@@ -58,15 +81,16 @@ impl SmpTeam {
 
     /// Run `f` on every member; returns the per-rank results in rank order.
     ///
-    /// A panic on any member propagates (the scope joins all threads first).
+    /// See the module docs for the panic-propagation contract.
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&TeamCtx<'_>) -> R + Sync,
     {
-        if self.p == 1 {
+        let p = self.p;
+        let barrier = SenseBarrier::new(p);
+        if p == 1 {
             // Degenerate team: run inline, still honoring barrier() calls.
-            let barrier = Barrier::new(1);
             let ctx = TeamCtx {
                 rank: 0,
                 p: 1,
@@ -74,34 +98,88 @@ impl SmpTeam {
             };
             return vec![f(&ctx)];
         }
-        let barrier = Barrier::new(self.p);
-        let mut results: Vec<Option<R>> = (0..self.p).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(self.p);
-            for (rank, slot) in results.iter_mut().enumerate() {
-                let barrier = &barrier;
-                let f = &f;
-                handles.push(s.spawn(move || {
-                    let ctx = TeamCtx {
-                        rank,
-                        p: self.p,
-                        barrier,
-                    };
-                    *slot = Some(f(&ctx));
-                }));
+        if msf_pool::sequential_here() {
+            return run_scoped(p, &barrier, &f);
+        }
+        msf_pool::run_team_collect(p, |rank| {
+            let ctx = TeamCtx {
+                rank,
+                p,
+                barrier: &barrier,
+            };
+            match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                Ok(result) => result,
+                Err(payload) => {
+                    // Free the sibling ranks before unwinding (see the
+                    // panic contract): a rank parked on the barrier must
+                    // die, not wait for us forever.
+                    barrier.poison();
+                    resume_unwind(payload)
+                }
             }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("worker completed"))
-            .collect()
+        })
     }
+}
+
+/// Pre-pool implementation: `p` scoped OS threads per run. Used under the
+/// sequential escape hatch, where touching the persistent pool is not
+/// allowed; the escape hatch is propagated into each rank thread so nested
+/// data-parallel calls stay sequential there too.
+fn run_scoped<R, F>(p: usize, barrier: &SenseBarrier, f: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&TeamCtx<'_>) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    let panics: std::sync::Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> =
+        std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (rank, slot) in results.iter_mut().enumerate() {
+            let panics = &panics;
+            scope.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    msf_pool::with_sequential(|| {
+                        let ctx = TeamCtx { rank, p, barrier };
+                        f(&ctx)
+                    })
+                }));
+                match outcome {
+                    Ok(result) => *slot = Some(result),
+                    Err(payload) => {
+                        barrier.poison();
+                        panics
+                            .lock()
+                            .expect("panic list poisoned")
+                            .push((rank, payload));
+                    }
+                }
+            });
+        }
+    });
+    let mut panics = panics.into_inner().expect("panic list poisoned");
+    if !panics.is_empty() {
+        panics.sort_by_key(|(rank, _)| *rank);
+        let original = panics
+            .iter()
+            .position(|(_, payload)| !payload.is::<BarrierPoisoned>())
+            .unwrap_or(0);
+        resume_unwind(panics.swap_remove(original).1);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
 }
 
 /// Typed cross-member communication for an [`SmpTeam`] phase: each rank
 /// deposits a value, a barrier separates writers from readers, and any rank
 /// folds the deposits. Mirrors the reduce/broadcast primitives of the
 /// SIMPLE library the paper's implementation was built on.
+///
+/// Rank-exclusive writes make a mutex pure overhead on this hot barrier
+/// path, so the slots are cache-line-padded [`msf_pool::RankSlots`]: a
+/// release-store publishes each deposit, an acquire-load consumes it, and
+/// the phase barrier provides the write→read ordering exactly as before.
 ///
 /// ```
 /// use msf_primitives::team::{SmpTeam, TeamReducer};
@@ -115,46 +193,38 @@ impl SmpTeam {
 /// assert_eq!(sums, vec![10, 10, 10, 10]);
 /// ```
 pub struct TeamReducer<T> {
-    slots: Vec<std::sync::Mutex<Option<T>>>,
+    slots: RankSlots<T>,
 }
 
-impl<T: Copy> TeamReducer<T> {
+impl<T: Copy + Send> TeamReducer<T> {
     /// Scratch for a team of width `p`.
     pub fn new(p: usize) -> Self {
         TeamReducer {
-            slots: (0..p.max(1)).map(|_| std::sync::Mutex::new(None)).collect(),
+            slots: RankSlots::new(p),
         }
     }
 
     /// Deposit this rank's contribution. Call before the phase barrier.
     pub fn put(&self, rank: usize, value: T) {
-        *self.slots[rank].lock().expect("reducer mutex poisoned") = Some(value);
+        self.slots.put(rank, value);
     }
 
     /// Read rank `r`'s deposit (panics if it has not been put). Call after
     /// the phase barrier.
     pub fn get(&self, rank: usize) -> T {
-        self.slots[rank]
-            .lock()
-            .expect("reducer mutex poisoned")
-            .expect("rank deposited a value")
+        self.slots.get(rank)
     }
 
-    /// Fold all deposits (missing deposits are skipped). Call after the
-    /// phase barrier.
+    /// Fold all deposits in rank order (missing deposits are skipped). Call
+    /// after the phase barrier.
     pub fn fold(&self, init: T, f: impl Fn(T, T) -> T) -> T {
-        self.slots
-            .iter()
-            .filter_map(|s| *s.lock().expect("reducer mutex poisoned"))
-            .fold(init, f)
+        self.slots.fold(init, f)
     }
 
     /// Clear all slots for reuse in a later phase (typically done by one
     /// rank, followed by a barrier).
     pub fn reset(&self) {
-        for s in &self.slots {
-            *s.lock().expect("reducer mutex poisoned") = None;
-        }
+        self.slots.reset();
     }
 }
 
@@ -163,8 +233,13 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    fn pool() {
+        msf_pool::force_width(4);
+    }
+
     #[test]
     fn results_come_back_in_rank_order() {
+        pool();
         let team = SmpTeam::new(4);
         let out = team.run(|ctx| ctx.rank * 10);
         assert_eq!(out, vec![0, 10, 20, 30]);
@@ -172,6 +247,7 @@ mod tests {
 
     #[test]
     fn width_one_runs_inline() {
+        pool();
         let team = SmpTeam::new(1);
         let out = team.run(|ctx| {
             ctx.barrier(); // must not deadlock
@@ -182,6 +258,7 @@ mod tests {
 
     #[test]
     fn barrier_separates_phases() {
+        pool();
         // Phase 1: everyone increments. Phase 2: everyone must observe p.
         let team = SmpTeam::new(4);
         let counter = AtomicUsize::new(0);
@@ -195,6 +272,7 @@ mod tests {
 
     #[test]
     fn blocks_cover_index_space() {
+        pool();
         let team = SmpTeam::new(3);
         let n = 100;
         let ranges = team.run(|ctx| ctx.block(n));
@@ -211,7 +289,37 @@ mod tests {
     }
 
     #[test]
+    fn sequential_mode_matches_pooled_results() {
+        pool();
+        let team = SmpTeam::new(4);
+        let pooled = team.run(|ctx| ctx.rank * 3 + 1);
+        let seq = msf_pool::with_sequential(|| team.run(|ctx| ctx.rank * 3 + 1));
+        assert_eq!(pooled, seq);
+    }
+
+    #[test]
+    fn rank_panic_reaches_caller_not_deadlock() {
+        pool();
+        let team = SmpTeam::new(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            team.run(|ctx| {
+                if ctx.rank == 2 {
+                    panic!("rank 2 exploded");
+                }
+                ctx.barrier(); // poisoned by rank 2's unwinding
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("rank 2 exploded"),
+            "original payload must win over BarrierPoisoned"
+        );
+    }
+
+    #[test]
     fn reducer_folds_min_and_broadcast() {
+        pool();
         let team = SmpTeam::new(3);
         let red = TeamReducer::<(u64, usize)>::new(3);
         // Each rank proposes (key, rank); everyone learns the argmin.
@@ -226,6 +334,7 @@ mod tests {
 
     #[test]
     fn reducer_reuse_across_phases() {
+        pool();
         let team = SmpTeam::new(2);
         let red = TeamReducer::<u32>::new(2);
         let out = team.run(|ctx| {

@@ -80,7 +80,7 @@ fn main() {
     // Single-linkage segmentation: drop the k-1 heaviest forest edges.
     let regions = 4;
     let mut by_weight: Vec<u32> = msf.edges.clone();
-    by_weight.sort_unstable_by(|&a, &b| g.edge(a).key().cmp(&g.edge(b).key()));
+    by_weight.sort_unstable_by_key(|&a| g.edge(a).key());
     let keep = &by_weight[..by_weight.len() - (regions - 1)];
     let mut uf = UnionFind::new(side * side);
     for &e in keep {

@@ -1,0 +1,886 @@
+//! Parallel iterator framework over `msf_pool`'s fork-join `join`.
+//!
+//! Mirrors the subset of `rayon::iter` this workspace uses, with rayon's
+//! spelling but a deliberately small core: an indexed parallel iterator is
+//! anything that knows its exact length, can split itself at an index, and
+//! can lower itself to an ordinary sequential iterator at a leaf. Terminals
+//! (`for_each`, `collect`, `sum`) recursively halve the iterator down to a
+//! grain size and run the leaves through [`msf_pool::join`], so the work
+//! lands on the persistent stealing workers.
+//!
+//! Determinism: `collect` writes every element at its exact final index and
+//! `sum` always reduces over the same binary split tree, so results are
+//! bit-identical to the sequential facade regardless of scheduling; only
+//! side-effect *timing* inside `for_each` closures can vary (all call sites
+//! in this workspace are order-independent, and the sequential escape hatch
+//! reproduces the exact single-thread order when that ever matters).
+
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::sync::Arc;
+
+/// Pick the leaf size for a drive: aim for ~8 leaves per worker so thieves
+/// always find slack, clamped by the call site's `with_min_len` /
+/// `with_max_len` hints.
+fn leaf_grain<I: IndexedParallelIterator>(iter: &I) -> usize {
+    let len = iter.len().max(1);
+    let width = msf_pool::width().max(1);
+    let auto = len.div_ceil(width.saturating_mul(8)).max(1);
+    let min = iter.min_len_hint().max(1);
+    let max = iter.max_len_hint().max(min);
+    auto.clamp(min, max)
+}
+
+/// True when this chain must run inline on the calling thread: the
+/// sequential escape hatch is active or the pool has a single worker.
+#[inline]
+fn run_inline() -> bool {
+    msf_pool::sequential_here() || msf_pool::width() == 1
+}
+
+/// An exactly-sized, splittable parallel iterator (the only kind this shim
+/// offers, matching how the workspace uses rayon).
+pub trait IndexedParallelIterator: Send + Sized {
+    /// Element type produced at the leaves.
+    type Item: Send;
+    /// The sequential iterator a leaf lowers to.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// True when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, index)` and `[index, len)`. `index <= len`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Lower to a sequential iterator over all remaining items.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Smallest leaf this chain should be split into (from `with_min_len`).
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+
+    /// Largest leaf this chain allows (from `with_max_len`).
+    fn max_len_hint(&self) -> usize {
+        usize::MAX
+    }
+
+    // ---- adapters ------------------------------------------------------
+
+    /// Map each item through `f` (shared across splits, like rayon).
+    fn map<R, F>(self, f: F) -> Map<Self, F, R>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+            _result: PhantomData,
+        }
+    }
+
+    /// Pair items positionally with `other` (truncates to the shorter).
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach the global index to each item.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Never split below `min` items per leaf.
+    fn with_min_len(self, min: usize) -> Tuned<Self> {
+        Tuned {
+            base: self,
+            min,
+            max: usize::MAX,
+        }
+    }
+
+    /// Never leave more than `max` items in one leaf.
+    fn with_max_len(self, max: usize) -> Tuned<Self> {
+        Tuned {
+            base: self,
+            min: 1,
+            max,
+        }
+    }
+
+    // ---- terminals -----------------------------------------------------
+
+    /// Apply `op` to every item, in parallel leaves.
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Send + Sync,
+    {
+        if run_inline() {
+            self.into_seq().for_each(op);
+            return;
+        }
+        let grain = leaf_grain(&self);
+        for_each_split(self, grain, &op);
+    }
+
+    /// Collect into `C` (only `Vec` is offered, which is all the workspace
+    /// uses). Element positions are exact, so the result is identical to
+    /// the sequential collect.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum all items over a fixed binary reduction tree (deterministic for
+    /// non-associative sums too, given a fixed width and hints).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        if run_inline() {
+            return self.into_seq().sum();
+        }
+        let grain = leaf_grain(&self);
+        sum_split(self, grain)
+    }
+}
+
+fn for_each_split<I, OP>(iter: I, grain: usize, op: &OP)
+where
+    I: IndexedParallelIterator,
+    OP: Fn(I::Item) + Sync,
+{
+    if iter.len() <= grain {
+        iter.into_seq().for_each(op);
+        return;
+    }
+    let mid = iter.len() / 2;
+    let (left, right) = iter.split_at(mid);
+    msf_pool::join(
+        || for_each_split(left, grain, op),
+        || for_each_split(right, grain, op),
+    );
+}
+
+fn sum_split<I, S>(iter: I, grain: usize) -> S
+where
+    I: IndexedParallelIterator,
+    S: Send + std::iter::Sum<I::Item> + std::iter::Sum<S>,
+{
+    if iter.len() <= grain {
+        return iter.into_seq().sum();
+    }
+    let mid = iter.len() / 2;
+    let (left, right) = iter.split_at(mid);
+    let (a, b) = msf_pool::join(
+        || sum_split::<I, S>(left, grain),
+        || sum_split::<I, S>(right, grain),
+    );
+    std::iter::once(a).chain(std::iter::once(b)).sum()
+}
+
+/// Conversion from a parallel iterator, rayon-style.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` from the items of `iter`.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: IndexedParallelIterator<Item = T>;
+}
+
+/// Shared base pointer for the indexed parallel writes in `collect`.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: leaves write disjoint index ranges of a buffer that outlives the
+// drive; the pointer itself is just an address.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Vec<T>
+    where
+        I: IndexedParallelIterator<Item = T>,
+    {
+        if run_inline() {
+            return iter.into_seq().collect();
+        }
+        let len = iter.len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let grain = leaf_grain(&iter);
+        let base = SendPtr(out.as_mut_ptr());
+        collect_split(iter, 0, grain, &base);
+        // SAFETY: the leaves wrote every index in 0..len exactly once (each
+        // leaf covers its disjoint [offset, offset+len) range and asserts
+        // its item count). If a leaf panicked, set_len is never reached and
+        // the Vec frees its raw capacity without reading the elements —
+        // written items leak, which is safe.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+fn collect_split<I>(iter: I, offset: usize, grain: usize, base: &SendPtr<I::Item>)
+where
+    I: IndexedParallelIterator,
+{
+    let len = iter.len();
+    if len <= grain {
+        let end = offset + len;
+        let mut idx = offset;
+        for item in iter.into_seq() {
+            assert!(idx < end, "source yielded more items than its len()");
+            // SAFETY: idx is inside this leaf's exclusive range, and the
+            // destination buffer has capacity for the full drive.
+            unsafe { base.0.add(idx).write(item) };
+            idx += 1;
+        }
+        assert_eq!(idx, end, "source yielded fewer items than its len()");
+        return;
+    }
+    let mid = len / 2;
+    let (left, right) = iter.split_at(mid);
+    msf_pool::join(
+        || collect_split(left, offset, grain, base),
+        || collect_split(right, offset + mid, grain, base),
+    );
+}
+
+// ======================================================================
+// Sources
+// ======================================================================
+
+/// Integer types whose ranges can be parallel-iterated.
+pub trait RangeInt: Copy + Send + 'static {
+    /// `b - a` as a usize (`a <= b`).
+    fn steps_between(a: Self, b: Self) -> usize;
+    /// `self + n`.
+    fn forward(self, n: usize) -> Self;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            #[inline]
+            fn steps_between(a: Self, b: Self) -> usize {
+                (b - a) as usize
+            }
+            #[inline]
+            fn forward(self, n: usize) -> Self {
+                self + n as $t
+            }
+        }
+    )*};
+}
+
+range_int!(usize, u32, u64);
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    start: T,
+    end: T,
+}
+
+impl<T> IndexedParallelIterator for RangePar<T>
+where
+    T: RangeInt,
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Seq = std::ops::Range<T>;
+
+    fn len(&self) -> usize {
+        T::steps_between(self.start, self.end)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        debug_assert!(index <= self.len());
+        let mid = self.start.forward(index);
+        (
+            RangePar {
+                start: self.start,
+                end: mid,
+            },
+            RangePar {
+                start: mid,
+                end: self.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.start..self.end
+    }
+}
+
+/// `into_par_iter()` — rayon's conversion entry point.
+pub trait IntoParallelIterator {
+    /// The parallel iterator this converts into.
+    type Iter: IndexedParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangePar<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangePar<$t> {
+                assert!(self.start <= self.end, "decreasing range");
+                RangePar { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+
+range_into_par!(usize, u32, u64);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SliceParIter { slice: l }, SliceParIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> IndexedParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceParIterMut { slice: l }, SliceParIterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over `chunk_size`-sized pieces of `&[T]`.
+pub struct ChunksPar<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // `index` counts chunks; convert to elements (last chunk may be
+        // short, but a split index is always <= len so this stays in range
+        // except exactly at len, clamped here).
+        let at = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            ChunksPar {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksPar {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+/// Parallel iterator over `chunk_size`-sized pieces of `&mut [T]`.
+pub struct ChunksMutPar<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ChunksMutPar<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMutPar {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksMutPar {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// `par_iter` / `par_chunks` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over references to the elements.
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+    /// Parallel iterator over `chunk_size`-sized sub-slices.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksPar {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` over exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references to the elements.
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+    /// Parallel iterator over `chunk_size`-sized mutable sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutPar<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutPar<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksMutPar {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+// ---- owned Vec source ------------------------------------------------
+
+/// The raw allocation of a consumed `Vec`, shared by all splits. Dropping
+/// it frees the allocation only — element drops are owed by whichever
+/// `VecParIter` / `VecSeq` still covers them.
+struct RawVec<T> {
+    ptr: *mut T,
+    cap: usize,
+}
+
+// SAFETY: the splits partition 0..len disjointly, so cross-thread access
+// to the buffer never aliases; T crosses threads by value (T: Send).
+unsafe impl<T: Send> Send for RawVec<T> {}
+unsafe impl<T: Send> Sync for RawVec<T> {}
+
+impl<T> Drop for RawVec<T> {
+    fn drop(&mut self) {
+        // SAFETY: ptr/cap came from Vec::into_parts below; len 0 means no
+        // element is dropped here (the iterators own those drops).
+        drop(unsafe { Vec::from_raw_parts(self.ptr, 0, self.cap) });
+    }
+}
+
+/// Parallel iterator owning a `Vec`'s elements (range `[start, end)`).
+pub struct VecParIter<T: Send> {
+    buf: Arc<RawVec<T>>,
+    start: usize,
+    end: usize,
+}
+
+// SAFETY: disjoint-range ownership of Send elements; see RawVec.
+unsafe impl<T: Send> Send for VecParIter<T> {}
+
+impl<T: Send> Drop for VecParIter<T> {
+    fn drop(&mut self) {
+        // Reached only when a split was abandoned (e.g. a sibling panic):
+        // drop the elements this split still owns.
+        // SAFETY: this iterator exclusively owns [start, end).
+        unsafe {
+            std::ptr::slice_from_raw_parts_mut(self.buf.ptr.add(self.start), self.end - self.start)
+                .drop_in_place();
+        }
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecParIter<T> {
+    type Item = T;
+    type Seq = VecSeq<T>;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        debug_assert!(index <= self.len());
+        let this = ManuallyDrop::new(self);
+        // SAFETY: `this` is never dropped, so the Arc is moved out exactly
+        // once (plus one fresh clone for the other half).
+        let buf = unsafe { std::ptr::read(&this.buf) };
+        let buf2 = Arc::clone(&buf);
+        let mid = this.start + index;
+        (
+            VecParIter {
+                buf,
+                start: this.start,
+                end: mid,
+            },
+            VecParIter {
+                buf: buf2,
+                start: mid,
+                end: this.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        let this = ManuallyDrop::new(self);
+        // SAFETY: as in split_at — sole move of the Arc out of a forgotten
+        // owner.
+        let buf = unsafe { std::ptr::read(&this.buf) };
+        VecSeq {
+            buf,
+            cur: this.start,
+            end: this.end,
+        }
+    }
+}
+
+/// Sequential leaf iterator for [`VecParIter`]: reads elements out by value.
+pub struct VecSeq<T: Send> {
+    buf: Arc<RawVec<T>>,
+    cur: usize,
+    end: usize,
+}
+
+// SAFETY: as for VecParIter.
+unsafe impl<T: Send> Send for VecSeq<T> {}
+
+impl<T: Send> Iterator for VecSeq<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.cur == self.end {
+            return None;
+        }
+        // SAFETY: [cur, end) is exclusively owned and not yet read; each
+        // element is read out exactly once.
+        let item = unsafe { self.buf.ptr.add(self.cur).read() };
+        self.cur += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.cur;
+        (n, Some(n))
+    }
+}
+
+impl<T: Send> Drop for VecSeq<T> {
+    fn drop(&mut self) {
+        // Drop whatever was not consumed.
+        // SAFETY: [cur, end) still holds live, exclusively-owned elements.
+        unsafe {
+            std::ptr::slice_from_raw_parts_mut(self.buf.ptr.add(self.cur), self.end - self.cur)
+                .drop_in_place();
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        let mut vec = ManuallyDrop::new(self);
+        let (ptr, len, cap) = (vec.as_mut_ptr(), vec.len(), vec.capacity());
+        VecParIter {
+            buf: Arc::new(RawVec { ptr, cap }),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+// ======================================================================
+// Adapters
+// ======================================================================
+
+/// Mapped parallel iterator (`f` is shared by all splits via `Arc`).
+pub struct Map<I, F, R> {
+    base: I,
+    f: Arc<F>,
+    _result: PhantomData<fn() -> R>,
+}
+
+impl<I, F, R> IndexedParallelIterator for Map<I, F, R>
+where
+    I: IndexedParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = MapSeq<I::Seq, F, R>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: Arc::clone(&self.f),
+                _result: PhantomData,
+            },
+            Map {
+                base: r,
+                f: self.f,
+                _result: PhantomData,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        MapSeq {
+            it: self.base.into_seq(),
+            f: self.f,
+            _result: PhantomData,
+        }
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+}
+
+/// Sequential leaf for [`Map`].
+pub struct MapSeq<It, F, R> {
+    it: It,
+    f: Arc<F>,
+    _result: PhantomData<fn() -> R>,
+}
+
+impl<It, F, R> Iterator for MapSeq<It, F, R>
+where
+    It: Iterator,
+    F: Fn(It::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.it.next().map(|item| (self.f)(item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.it.size_hint()
+    }
+}
+
+/// Positionally zipped pair of parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.a.min_len_hint().max(self.b.min_len_hint())
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.a.max_len_hint().min(self.b.max_len_hint())
+    }
+}
+
+/// Globally indexed parallel iterator.
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I> IndexedParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator,
+{
+    type Item = (usize, I::Item);
+    type Seq = EnumerateSeq<I::Seq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            it: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+}
+
+/// Sequential leaf for [`Enumerate`] carrying the split's global offset.
+pub struct EnumerateSeq<It> {
+    it: It,
+    next: usize,
+}
+
+impl<It: Iterator> Iterator for EnumerateSeq<It> {
+    type Item = (usize, It::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.it.next()?;
+        let idx = self.next;
+        self.next += 1;
+        Some((idx, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.it.size_hint()
+    }
+}
+
+/// Split-granularity hints (`with_min_len` / `with_max_len`).
+pub struct Tuned<I> {
+    base: I,
+    min: usize,
+    max: usize,
+}
+
+impl<I> IndexedParallelIterator for Tuned<I>
+where
+    I: IndexedParallelIterator,
+{
+    type Item = I::Item;
+    type Seq = I::Seq;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Tuned {
+                base: l,
+                min: self.min,
+                max: self.max,
+            },
+            Tuned {
+                base: r,
+                min: self.min,
+                max: self.max,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint().max(self.min)
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint().min(self.max)
+    }
+}

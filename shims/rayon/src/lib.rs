@@ -1,125 +1,68 @@
-//! Offline stand-in for the subset of `rayon` this workspace uses.
+//! Offline stand-in for the subset of `rayon` this workspace uses, now
+//! backed by a real persistent work-stealing pool (`msf_pool`).
 //!
 //! The build environment cannot reach a crates.io registry, so the
 //! workspace replaces the registry `rayon` with this path crate. Call sites
 //! keep rayon's spelling (`into_par_iter`, `par_iter`, `par_chunks`,
-//! `with_min_len`, `rayon::current_num_threads`, …) but the adapters return
-//! plain **sequential** `std` iterators, so every data-parallel chain runs
-//! deterministically on the calling thread.
+//! `with_min_len`, `rayon::current_num_threads`, `rayon::join`, …) and now
+//! get genuine parallelism: terminals recursively halve their input and
+//! hand the halves to `msf_pool::join`, which schedules them on persistent
+//! workers with chase-lev-style stealing deques.
 //!
-//! Real parallelism in the suite comes from `msf_primitives::team::SmpTeam`
-//! (std scoped threads), which the SPMD algorithm skeletons use directly.
-//! The `p` in `MsfConfig::threads` controls *logical* decomposition (block
-//! ranges, bucket counts) and is honored exactly as before, which is what
-//! the thread-count matrix in the test suite exercises. Swapping this shim
-//! back for the real crate only changes wall-clock, never results — every
-//! call site was already written to be order-independent or to reduce in
-//! rank order.
+//! Results are identical to the old sequential facade by construction —
+//! `collect` writes each element at its exact final index, `sum` reduces
+//! over a fixed split tree, and every `for_each` call site in the workspace
+//! is order-independent. Setting `MSF_SEQUENTIAL=1` (or the `sequential`
+//! feature of `msf-pool`, or `msf_pool::with_sequential`) restores the
+//! exact single-threaded execution order without touching any call site;
+//! `MSF_POOL_THREADS` pins the pool width.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
-/// Width rayon's global pool would have: the host's available parallelism.
+pub mod iter;
+
+/// Width of the shared pool (respects `MSF_POOL_THREADS`, else the host's
+/// available parallelism). Matches what `join`/`par_iter` actually use.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    msf_pool::width()
 }
 
-/// Run two closures and return both results. Sequential here.
+/// Run both closures, potentially in parallel, and return both results.
+/// `a` runs on the calling thread while `b` is offered to the pool; under
+/// `MSF_SEQUENTIAL=1` this is exactly `(a(), b())`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
-}
-
-/// Iterator adapters mirroring `rayon::iter`.
-pub mod iter {
-    /// `into_par_iter()` for anything iterable (ranges, `Vec`, …). Returns
-    /// the type's ordinary sequential iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for rayon's `into_par_iter`.
-        #[inline]
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// Indexed-iterator tuning knobs, accepted and ignored.
-    pub trait IndexedParallelIterator: Iterator + Sized {
-        /// No-op: splitting granularity has no meaning sequentially.
-        #[inline]
-        fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
-
-        /// No-op: splitting granularity has no meaning sequentially.
-        #[inline]
-        fn with_max_len(self, _max: usize) -> Self {
-            self
-        }
-    }
-
-    impl<I: Iterator + Sized> IndexedParallelIterator for I {}
-
-    /// `par_iter` / `par_chunks` over shared slices.
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for rayon's `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for rayon's `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        #[inline]
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-
-        #[inline]
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// `par_iter_mut` / `par_chunks_mut` over exclusive slices.
-    pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for rayon's `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential stand-in for rayon's `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        #[inline]
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-
-        #[inline]
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
+    msf_pool::join(a, b)
 }
 
 /// The glob-import surface mirroring `rayon::prelude`.
 pub mod prelude {
     pub use super::iter::{
-        IndexedParallelIterator, IntoParallelIterator, ParallelSlice, ParallelSliceMut,
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelSlice,
+        ParallelSliceMut,
     };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Pin a multi-worker pool before first use so these tests exercise
+    /// real parallel drives even on a 1-core host.
+    fn pool() {
+        msf_pool::force_width(4);
+    }
 
     #[test]
     fn par_chains_behave_like_std() {
+        pool();
         let v: Vec<u32> = (0..10u32).into_par_iter().map(|x| x * 2).collect();
         assert_eq!(v, (0..10u32).map(|x| x * 2).collect::<Vec<_>>());
 
@@ -135,14 +78,15 @@ mod tests {
     }
 
     #[test]
-    fn tuning_knobs_are_identity() {
+    fn tuning_knobs_are_respected() {
+        pool();
         let n = 100usize;
         let v: Vec<usize> = (0..n)
             .into_par_iter()
             .with_min_len(8)
             .with_max_len(32)
             .collect();
-        assert_eq!(v.len(), n);
+        assert_eq!(v, (0..n).collect::<Vec<_>>());
     }
 
     #[test]
@@ -152,6 +96,105 @@ mod tests {
 
     #[test]
     fn join_returns_both() {
+        pool();
         assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+
+    #[test]
+    fn large_collect_is_exact_and_ordered() {
+        pool();
+        let n = 100_000usize;
+        let v: Vec<u64> = (0..n).into_par_iter().map(|i| (i as u64) * 3 + 1).collect();
+        assert_eq!(v.len(), n);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i as u64) * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        pool();
+        let n = 50_000usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        pool();
+        let n = 200_000usize;
+        let par: u64 = (0..n).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(par, (n as u64 - 1) * (n as u64) / 2);
+    }
+
+    #[test]
+    fn zip_chunks_roundtrip() {
+        pool();
+        let n = 10_000usize;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let chunk = 97;
+        let totals: Vec<u64> = data.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+        let mut out = vec![0u64; n];
+        out.par_chunks_mut(chunk)
+            .zip(totals.par_iter())
+            .for_each(|(block, &t)| {
+                for x in block.iter_mut() {
+                    *x = t;
+                }
+            });
+        let expect: Vec<u64> = data
+            .chunks(chunk)
+            .flat_map(|c| {
+                let t: u64 = c.iter().sum();
+                std::iter::repeat_n(t, c.len())
+            })
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn owned_vec_par_iter_consumes_without_leaking_drops() {
+        pool();
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Tracked(u32);
+        impl Tracked {
+            fn new(v: u32) -> Tracked {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Tracked(v)
+            }
+        }
+        impl Clone for Tracked {
+            fn clone(&self) -> Tracked {
+                Tracked::new(self.0)
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let vec: Vec<Tracked> = (0..10_000).map(Tracked::new).collect();
+        let doubled: Vec<u32> = vec.into_par_iter().map(|t| t.0 * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert_eq!(doubled[1234], 2468);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0, "all elements dropped");
+    }
+
+    #[test]
+    fn sequential_escape_hatch_matches_pooled_results() {
+        pool();
+        let n = 30_000usize;
+        let pooled: Vec<u64> = (0..n).into_par_iter().map(|i| (i as u64).pow(2)).collect();
+        let seq = msf_pool::with_sequential(|| {
+            (0..n)
+                .into_par_iter()
+                .map(|i| (i as u64).pow(2))
+                .collect::<Vec<u64>>()
+        });
+        assert_eq!(pooled, seq);
     }
 }
