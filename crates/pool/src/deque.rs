@@ -8,20 +8,34 @@
 //!
 //! Protocol (chase-lev shape, packed-cursor implementation):
 //! - the **owner** pushes and pops at `tail` (LIFO, keeps recursive splits
-//!   cache-hot),
+//!   cache-hot), **except** that popping the *last* element claims it by
+//!   advancing `head` instead (racing thieves on the very same `(h, t)` →
+//!   `(h+1, t)` transition, as in classic Chase-Lev),
 //! - **thieves** steal at `head` (FIFO, takes the oldest and therefore
 //!   biggest pending split first).
+//!
+//! The last-element rule is what keeps `head` strictly monotone and closes
+//! the ABA hole a tail-decrementing pop would open: if popping the last
+//! element merely moved `tail` back, an owner pop+push pair would restore
+//! the exact cursor word a thief had snapshotted while recycling the same
+//! slot, and the thief's CAS would succeed with stale (or torn) job words —
+//! double-executing a consumed job and silently dropping the new one.
+//! Because the only way the deque empties is a `head` bump, and `tail` never
+//! descends to `head` by pops alone, a cursor word observed by a thief can
+//! never recur.
 //!
 //! A slot stores a [`JobRef`] as two plain `AtomicUsize` words written with
 //! `Relaxed` ordering; publication and consistency come from the packed CAS:
 //!
-//! - A pushed slot at index `t` can only be *overwritten* by a later push at
-//!   `t + CAPACITY`, which requires `head > t` to have been published first.
+//! - While `head == h`, the slot at `h & MASK` is never rewritten: pushes
+//!   write at `tail & MASK` with `h < tail < h + CAPACITY` (a push at
+//!   `tail == h` would mean the deque was empty, and emptying requires a
+//!   `head` bump), and pops below size 2 go through the `head`-advance path.
 //! - A thief reads the slot **before** its CAS and only keeps the value if
-//!   the CAS succeeds with the same `head` it read under. If the slot had
-//!   been overwritten meanwhile, `head` must have advanced and the CAS fails.
-//!   The successful CAS is a release-acquire RMW, so the slot reads cannot
-//!   sink below it.
+//!   the CAS succeeds with the same `head` it read under. If the slot could
+//!   have been rewritten meanwhile, `head` must have advanced and the CAS
+//!   fails. The successful CAS is a release-acquire RMW, so the slot reads
+//!   cannot sink below it.
 //!
 //! Capacity is fixed; a full deque rejects the push and the caller runs the
 //! job inline (a correct, merely less parallel, fallback).
@@ -120,21 +134,31 @@ impl Deque {
         let mut cur = self.cursors.load(Ordering::Acquire);
         loop {
             let (head, tail) = unpack(cur);
-            if tail.wrapping_sub(head) == 0 {
+            let size = tail.wrapping_sub(head);
+            if size == 0 {
                 return None;
             }
-            let new_tail = tail.wrapping_sub(1);
+            // Popping the last element must advance `head`, not retreat
+            // `tail`: it races thieves on the identical transition, and it
+            // keeps `head` monotone so no thief can ever see a cursor word
+            // recur (the ABA argument in the module docs).
+            let new_cur = if size == 1 {
+                pack(head.wrapping_add(1), tail)
+            } else {
+                pack(head, tail.wrapping_sub(1))
+            };
             match self.cursors.compare_exchange_weak(
                 cur,
-                pack(head, new_tail),
+                new_cur,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
                     // The claim succeeded, so the slot is exclusively ours;
                     // this thread also wrote it (owner pushes), so Relaxed
-                    // reads see the values by program order.
-                    let slot = &self.slots[(new_tail & MASK) as usize];
+                    // reads see the values by program order. Both branches
+                    // claim the slot at `tail - 1` (== `head` when size 1).
+                    let slot = &self.slots[(tail.wrapping_sub(1) & MASK) as usize];
                     let data = slot.data.load(Ordering::Relaxed);
                     let exec = slot.exec.load(Ordering::Relaxed);
                     // SAFETY: the words were stored by `push` from a live
@@ -280,5 +304,61 @@ mod tests {
         }
         assert_eq!(counter.load(Ordering::SeqCst), JOBS, "every job ran once");
         assert_eq!(executed.load(Ordering::SeqCst), JOBS, "claims were unique");
+    }
+
+    /// Regression stress for the last-element ABA hole: an owner that keeps
+    /// the deque at size 0–2 maximizes pop-last + immediate-push pairs. With
+    /// a tail-decrementing pop, such a pair restores the exact cursor word a
+    /// thief snapshotted while recycling the slot, so a stale thief CAS
+    /// could double-claim a consumed job and drop the fresh one; the
+    /// `head`-advancing pop makes every such CAS fail. Exactly-once
+    /// accounting catches both the duplicate and the loss.
+    #[test]
+    fn last_element_pop_push_churn_is_exactly_once() {
+        const ROUNDS: usize = 50_000;
+        const THIEVES: usize = 3;
+        let deque = Deque::new();
+        let executed = AtomicUsize::new(0);
+        let counter = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let mut pushed = 0usize;
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                scope.spawn(|| {
+                    while done.load(Ordering::SeqCst) == 0 || !deque.is_empty() {
+                        if let Some(job) = deque.steal() {
+                            // SAFETY: claims are exclusive; job data is the
+                            // live counter above.
+                            unsafe { job.execute() };
+                            executed.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            for round in 0..ROUNDS {
+                // Mostly singletons (pop races thieves on the last element);
+                // occasionally two, so both pop paths stay exercised.
+                let burst = 1 + usize::from(round % 13 == 0);
+                for _ in 0..burst {
+                    if deque.push(counter_job(&counter)) {
+                        pushed += 1;
+                    }
+                }
+                while let Some(job) = deque.pop() {
+                    // SAFETY: as above.
+                    unsafe { job.execute() };
+                    executed.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            done.store(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), pushed, "every job ran once");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            pushed,
+            "claims were unique"
+        );
     }
 }

@@ -97,6 +97,14 @@ impl Registry {
     }
 
     fn wake_sleepers(&self) {
+        // Dekker/store-buffer pattern with the sleep path: we published work
+        // (deque CAS / injector unlock — neither SeqCst) and now load
+        // `sleepers`; the sleeper increments `sleepers` and then loads the
+        // work queues. SeqCst fences on both sides (here and in
+        // `worker_main`) make the two pairs totally ordered, so either we
+        // observe the sleeper (and notify under the lock) or the sleeper
+        // observes our work — a wakeup can no longer fall between.
+        std::sync::atomic::fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             // Taking the lock pairs with the sleeper's locked re-check: the
             // sleeper either sees the published work or gets this notify.
@@ -159,11 +167,13 @@ impl Registry {
                 unsafe { job.execute() };
                 continue;
             }
-            // Sleep protocol: register as a sleeper, re-check under the lock
-            // (pairs with wake_sleepers), then wait with a timeout so a
-            // missed wakeup can only cost one tick.
+            // Sleep protocol: register as a sleeper, fence (see
+            // `wake_sleepers` for the pairing), re-check under the lock,
+            // then wait. The timeout is a pure liveness backstop now, not a
+            // correctness crutch for missed wakeups.
             let guard = self.sleep_lock.lock().expect("sleep mutex poisoned");
             self.sleepers.fetch_add(1, Ordering::SeqCst);
+            std::sync::atomic::fence(Ordering::SeqCst);
             if !self.has_visible_work() {
                 let _ = self
                     .wake
@@ -211,9 +221,11 @@ impl Registry {
     {
         let job_b = StackJob::new(b);
         if !self.push_local(me, job_b.as_job_ref()) {
-            // Deque full: run both inline (correct, just not parallel).
+            // Deque full: run both inline, in the documented sequential
+            // order — `a` first, so `b` never runs when `a` panics.
+            let ra = a();
             let rb = job_b.run_inline();
-            return (a(), rb);
+            return (ra, rb);
         }
         let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
         // Settle `b` before propagating any panic from `a`: the job object
