@@ -1,12 +1,13 @@
 //! `msf` — command-line minimum spanning forest solver.
 //!
 //! ```sh
-//! msf compute <graph.gr> [--algo bor-fal] [--threads 8] [--verify] [--out forest.txt]
+//! msf compute <graph.gr> [--algo bor-fal] [--threads 8] [--verify] [--out forest.txt] [--trace t.json]
 //! msf certify <graph.gr> [--algo bor-fal] [--threads 8]
+//! msf trace <graph.gr> [--algo bor-fal] [--threads 8] [--out trace.json]
 //! msf fuzz [--cases 500] [--seed 2026] [--corpus DIR] [--max-n 96] [--inject-failure]
 //! msf generate <kind> [params…] --out graph.gr [--weights uniform|small-int|exponential|bimodal]
 //! msf info <graph.gr>
-//! msf bench [--scale smoke|default|paper] [--seed 2026] [--json] [--out BENCH.json]
+//! msf bench [--scale smoke|default|paper] [--seed 2026] [--json] [--out BENCH.json] [--trace t.json]
 //! ```
 //!
 //! Graphs are DIMACS-style (`p sp n m` + `a u v w` lines, 1-indexed). The
@@ -14,7 +15,10 @@
 //! `certify` proves a computed forest minimum from the cut/cycle properties
 //! alone (no reference run); `fuzz` differential-tests the whole algorithm
 //! portfolio on generated graphs, shrinking any failure to a minimal DIMACS
-//! reproducer in the corpus directory.
+//! reproducer in the corpus directory; `trace` runs one algorithm with the
+//! observability rings on and exports a `chrome://tracing` / Perfetto JSON
+//! plus a per-span-kind text summary. `MSF_TRACE=1` turns tracing on for any
+//! subcommand; `--trace PATH` does the same and writes the chrome JSON.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -25,20 +29,35 @@ use msf_graph::generators::{
     GeneratorConfig, StructuredKind, WeightScheme,
 };
 use msf_graph::{io, EdgeList};
+use msf_primitives::obs;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         msf compute <graph.gr> [--algo NAME] [--threads P] [--verify] [--out FILE]\n  \
+         msf compute <graph.gr> [--algo NAME] [--threads P] [--verify] [--out FILE] [--trace FILE]\n  \
          msf certify <graph.gr> [--algo NAME] [--threads P]\n  \
+         msf trace <graph.gr> [--algo NAME] [--threads P] [--out FILE]\n  \
          msf fuzz [--cases N] [--seed S] [--corpus DIR] [--max-n N] [--inject-failure]\n  \
          msf generate <random n m | mesh side | 2d60 side | 3d40 side | geometric n k | str0..str3 n>\n      \
          [--seed S] [--weights uniform|small-int|exponential|bimodal] --out FILE\n  \
          msf info <graph.gr>\n  \
-         msf bench [--scale smoke|default|paper] [--seed S] [--json] [--out FILE]\n\n\
+         msf bench [--scale smoke|default|paper] [--seed S] [--json] [--out FILE] [--trace FILE]\n\n\
          algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc"
     );
     std::process::exit(2);
+}
+
+/// Drain the event rings and write the chrome-trace JSON; nesting violations
+/// are fatal (a malformed trace means an instrumentation bug, not bad input).
+fn finish_trace(path: &str) {
+    let trace = obs::drain();
+    if let Err(e) = trace.validate_nesting() {
+        eprintln!("TRACE NESTING VIOLATION: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, trace.chrome_json()).expect("write trace JSON");
+    eprintln!("{}", trace.summary());
+    eprintln!("chrome trace written to {path} (load in chrome://tracing or ui.perfetto.dev)");
 }
 
 fn parse_algo(s: &str) -> Option<Algorithm> {
@@ -69,16 +88,66 @@ fn load(path: &str) -> EdgeList {
 }
 
 fn main() {
+    // Resolve MSF_TRACE/MSF_TRACE_CAP up front so the per-span check is the
+    // steady-state one-load branch from the very first algorithm run.
+    obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("compute") => compute(&args[1..]),
         Some("certify") => certify(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("info") => info(&args[1..]),
         Some("bench") => bench(&args[1..]),
         _ => usage(),
     }
+}
+
+fn trace_cmd(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let mut algo = Algorithm::BorFal;
+    let mut threads = rayon::current_num_threads().max(1);
+    let mut out_path = String::from("trace.json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algo" => {
+                i += 1;
+                algo = args
+                    .get(i)
+                    .and_then(|s| parse_algo(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let g = load(path);
+    obs::set_enabled(true);
+    let _ = obs::drain(); // discard anything recorded before this run
+    let result = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(threads));
+    eprintln!(
+        "{algo}: {} vertices, {} edges -> {} forest edges, weight {:.6}, {} trees, {:.3}s",
+        g.num_vertices(),
+        g.num_edges(),
+        result.edges.len(),
+        result.total_weight,
+        result.components,
+        result.stats.total_seconds
+    );
+    finish_trace(&out_path);
 }
 
 fn certify(args: &[String]) {
@@ -203,6 +272,7 @@ fn compute(args: &[String]) {
     let mut threads = rayon::current_num_threads().max(1);
     let mut do_verify = false;
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -225,11 +295,19 @@ fn compute(args: &[String]) {
                 i += 1;
                 out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
     }
     let g = load(path);
+    if trace_path.is_some() {
+        obs::set_enabled(true);
+        let _ = obs::drain();
+    }
     let result = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(threads));
     eprintln!(
         "{algo}: {} vertices, {} edges -> {} forest edges, weight {:.6}, {} trees, {:.3}s",
@@ -254,6 +332,9 @@ fn compute(args: &[String]) {
             writeln!(out, "{} {} {}", e.u + 1, e.v + 1, e.w).expect("write edge");
         }
         eprintln!("forest written to {out_path}");
+    }
+    if let Some(trace_path) = trace_path {
+        finish_trace(&trace_path);
     }
 }
 
@@ -359,6 +440,7 @@ fn bench(args: &[String]) {
     let mut seed = 2026u64;
     let mut json = false;
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -381,9 +463,17 @@ fn bench(args: &[String]) {
                 i += 1;
                 out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
+    }
+    if trace_path.is_some() {
+        obs::set_enabled(true);
+        let _ = obs::drain();
     }
 
     let scale_name = match scale {
@@ -420,9 +510,15 @@ fn bench(args: &[String]) {
         report.push((family, name, g.num_vertices(), g.num_edges(), sweeps));
     }
 
+    if let Some(trace_path) = trace_path {
+        finish_trace(&trace_path);
+    }
     if !json {
         return;
     }
+    // Snapshot the pool counters after every sweep has run: the totals
+    // describe the work the benchmark itself induced.
+    let pool = msf_pool::pool_stats();
     // Hand-rolled JSON (no serde in the offline image). Every emitted string
     // is generated here and contains no characters needing escapes.
     let mut doc = String::new();
@@ -439,6 +535,27 @@ fn bench(args: &[String]) {
         "    \"proc_sweep\": [{}]\n",
         msf_bench::PROC_SWEEP.map(|p| p.to_string()).join(", ")
     ));
+    doc.push_str("  },\n");
+    doc.push_str("  \"pool\": {\n");
+    doc.push_str(&format!("    \"threads\": {},\n", pool.width));
+    doc.push_str(&format!("    \"steal_hits\": {},\n", pool.steal_hits()));
+    doc.push_str(&format!("    \"steal_misses\": {},\n", pool.steal_misses()));
+    doc.push_str(&format!("    \"parks\": {},\n", pool.parks()));
+    doc.push_str(&format!(
+        "    \"injector_pushes\": {},\n",
+        pool.injector_pushes
+    ));
+    doc.push_str(&format!("    \"injector_pops\": {},\n", pool.injector_pops));
+    doc.push_str(&format!("    \"wakes\": {},\n", pool.wakes));
+    doc.push_str(&format!(
+        "    \"deque_overflows\": {},\n",
+        pool.deque_overflows
+    ));
+    doc.push_str(&format!(
+        "    \"team_threads_spawned\": {},\n",
+        pool.team_threads_spawned
+    ));
+    doc.push_str(&format!("    \"team_leases\": {}\n", pool.team_leases));
     doc.push_str("  },\n");
     doc.push_str("  \"graphs\": [\n");
     for (gi, (family, name, vertices, edges, sweeps)) in report.iter().enumerate() {

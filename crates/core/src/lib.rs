@@ -183,7 +183,24 @@ impl MsfResult {
 }
 
 /// Compute the minimum spanning forest of `g` with the chosen algorithm.
+///
+/// When tracing is enabled (see [`msf_primitives::obs`]) the whole
+/// computation is wrapped in a `run` span whose BEGIN event carries
+/// `(n, m)` and whose END event carries `(forest edges, components)`.
+/// Inner runs (the filter front-end, MST-BC base cases through this entry
+/// point) nest their own `run` spans inside it.
 pub fn minimum_spanning_forest(g: &EdgeList, algorithm: Algorithm, cfg: &MsfConfig) -> MsfResult {
+    let run_span = msf_primitives::obs::span(
+        msf_primitives::obs::SpanKind::Run,
+        g.num_vertices() as u64,
+        g.num_edges() as u64,
+    );
+    let result = dispatch(g, algorithm, cfg);
+    run_span.end_with(result.edges.len() as u64, u64::from(result.components));
+    result
+}
+
+fn dispatch(g: &EdgeList, algorithm: Algorithm, cfg: &MsfConfig) -> MsfResult {
     match algorithm {
         Algorithm::Prim => seq::prim::msf(g),
         Algorithm::Kruskal => seq::kruskal::msf(g),

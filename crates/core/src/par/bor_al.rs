@@ -18,11 +18,12 @@
 
 use msf_graph::{EdgeKey, EdgeList, OrderedWeight};
 use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::obs;
 use msf_primitives::sort::two_level_sort_by;
 use rayon::prelude::*;
 
 use crate::par::common::{connect_components, emit_unique, group_by_label, PHASE_OVERHEAD};
-use crate::stats::{IterationStats, RunStats, StepStats};
+use crate::stats::{IterationStats, RunStats, StepKind, StepSpan};
 use crate::{MsfConfig, MsfResult};
 
 /// How compact-graph allocates the new adjacency lists.
@@ -124,27 +125,31 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig, policy: AllocPolicy) -> MsfResult {
             directed_edges,
             ..Default::default()
         };
-        let mut timer = Stopwatch::start();
+        let _iteration = obs::span(
+            obs::SpanKind::Iteration,
+            stats.iterations.len() as u64,
+            n as u64,
+        );
 
         // Step 1: find-min — scan each vertex's (contiguous) list.
+        let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
         let mut fm_meters = vec![WorkMeter::new(); p];
         let (to, chosen) = find_min(&lists, n, p, &mut fm_meters);
         emit_unique(&mut out, chosen);
-        it.find_min = StepStats::from_meters(timer.lap(), &fm_meters);
-        it.find_min.modeled_max += PHASE_OVERHEAD;
+        it.find_min = step.finish(&fm_meters, PHASE_OVERHEAD);
 
         // Step 2: connect-components.
+        let step = StepSpan::begin(StepKind::Connect, stats.iterations.len());
         let mut cc_meters = vec![WorkMeter::new(); p];
         let (labels, k) = connect_components(to, p, &mut cc_meters);
-        it.connect = StepStats::from_meters(timer.lap(), &cc_meters);
-        it.connect.modeled_max += PHASE_OVERHEAD;
+        it.connect = step.finish(&cc_meters, PHASE_OVERHEAD);
 
         // Step 3: compact-graph — the two-level sort + k-way merge.
+        let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
         let mut cg_meters = vec![WorkMeter::new(); p];
         lists = compact(&lists, &labels, k as usize, p, policy, &mut cg_meters);
         n = k as usize;
-        it.compact = StepStats::from_meters(timer.lap(), &cg_meters);
-        it.compact.modeled_max += PHASE_OVERHEAD;
+        it.compact = step.finish(&cg_meters, PHASE_OVERHEAD);
 
         stats.push_iteration(it);
         if n <= 1 {

@@ -16,10 +16,11 @@
 use msf_graph::dense::DenseGraph;
 use msf_graph::EdgeList;
 use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::obs;
 use rayon::prelude::*;
 
 use crate::par::common::{connect_components, emit_unique, PHASE_OVERHEAD};
-use crate::stats::{IterationStats, RunStats, StepStats};
+use crate::stats::{IterationStats, RunStats, StepKind, StepSpan};
 use crate::{MsfConfig, MsfResult};
 
 /// Compute the MSF with dense Borůvka. Memory is Θ(n²); see
@@ -42,9 +43,14 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             directed_edges: dense.directed_entries(),
             ..Default::default()
         };
-        let mut timer = Stopwatch::start();
+        let _iteration = obs::span(
+            obs::SpanKind::Iteration,
+            stats.iterations.len() as u64,
+            n as u64,
+        );
 
         // find-min: per-row scans, p blocks of rows.
+        let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
         let mut fm_meters = vec![WorkMeter::new(); p];
         let parts: Vec<(Vec<u32>, Vec<u32>, WorkMeter)> = (0..p)
             .into_par_iter()
@@ -75,8 +81,7 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             chosen.extend_from_slice(&cp);
         }
         let any = !chosen.is_empty();
-        it.find_min = StepStats::from_meters(timer.lap(), &fm_meters);
-        it.find_min.modeled_max += PHASE_OVERHEAD;
+        it.find_min = step.finish(&fm_meters, PHASE_OVERHEAD);
         if !any {
             stats.push_iteration(it);
             break; // every remaining supervertex is isolated
@@ -84,12 +89,13 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
         emit_unique(&mut out, chosen);
 
         // connect-components.
+        let step = StepSpan::begin(StepKind::Connect, stats.iterations.len());
         let mut cc_meters = vec![WorkMeter::new(); p];
         let (labels, k) = connect_components(to, p, &mut cc_meters);
-        it.connect = StepStats::from_meters(timer.lap(), &cc_meters);
-        it.connect.modeled_max += PHASE_OVERHEAD;
+        it.connect = step.finish(&cc_meters, PHASE_OVERHEAD);
 
         // compact-graph: fold rows into per-worker k×k partials, reduce.
+        let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
         let mut cg_meters = vec![WorkMeter::new(); p];
         let partials: Vec<(DenseGraph, WorkMeter)> = (0..p)
             .into_par_iter()
@@ -128,8 +134,7 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             }
         }
         dense = next;
-        it.compact = StepStats::from_meters(timer.lap(), &cg_meters);
-        it.compact.modeled_max += PHASE_OVERHEAD;
+        it.compact = step.finish(&cg_meters, PHASE_OVERHEAD);
         stats.push_iteration(it);
     }
 

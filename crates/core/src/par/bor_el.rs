@@ -13,12 +13,13 @@
 
 use msf_graph::EdgeList;
 use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::obs;
 
 use crate::par::common::{
     connect_components, emit_unique, radix_group_and_dedup, relabel_and_filter, segment_starts,
     segmented_find_min, sort_and_dedup, PHASE_OVERHEAD,
 };
-use crate::stats::{IterationStats, RunStats, StepStats};
+use crate::stats::{IterationStats, RunStats, StepKind, StepSpan};
 use crate::{MsfConfig, MsfResult};
 
 /// Compute the MSF with Bor-EL.
@@ -33,9 +34,10 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
     } else {
         sort_and_dedup
     };
+    let setup = StepSpan::begin(StepKind::Setup, 0);
     let mut setup_meters = vec![WorkMeter::new(); p];
     let mut edges = compact(g.to_directed_pairs(), p, &mut setup_meters);
-    stats.add_flat_cost(msf_primitives::cost::modeled_time(&setup_meters) + PHASE_OVERHEAD);
+    stats.add_flat_cost(setup.finish(&setup_meters, PHASE_OVERHEAD).modeled_max);
 
     let mut n = g.num_vertices();
     let mut out: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
@@ -46,9 +48,14 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             directed_edges: edges.len(),
             ..Default::default()
         };
-        let mut timer = Stopwatch::start();
+        let _iteration = obs::span(
+            obs::SpanKind::Iteration,
+            stats.iterations.len() as u64,
+            n as u64,
+        );
 
         // Step 1: find-min over the per-source segments.
+        let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
         let mut fm_meters = vec![WorkMeter::new(); p];
         let seg = segment_starts(&edges, n, p);
         let mins = segmented_find_min(&edges, &seg, p, &mut fm_meters);
@@ -58,10 +65,10 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             .map(|&i| edges[i as usize].id)
             .collect();
         emit_unique(&mut out, chosen);
-        it.find_min = StepStats::from_meters(timer.lap(), &fm_meters);
-        it.find_min.modeled_max += PHASE_OVERHEAD;
+        it.find_min = step.finish(&fm_meters, PHASE_OVERHEAD);
 
         // Step 2: connect-components over the chosen edges.
+        let step = StepSpan::begin(StepKind::Connect, stats.iterations.len());
         let mut cc_meters = vec![WorkMeter::new(); p];
         let to: Vec<u32> = mins
             .iter()
@@ -75,17 +82,16 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             })
             .collect();
         let (labels, k) = connect_components(to, p, &mut cc_meters);
-        it.connect = StepStats::from_meters(timer.lap(), &cc_meters);
-        it.connect.modeled_max += PHASE_OVERHEAD;
+        it.connect = step.finish(&cc_meters, PHASE_OVERHEAD);
 
         // Step 3: compact-graph — relabel, drop self-loops, global sample
         // sort, merge multi-edge runs.
+        let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
         let mut cg_meters = vec![WorkMeter::new(); p];
         let survivors = relabel_and_filter(&edges, &labels, p, &mut cg_meters);
         edges = compact(survivors, p, &mut cg_meters);
         n = k as usize;
-        it.compact = StepStats::from_meters(timer.lap(), &cg_meters);
-        it.compact.modeled_max += PHASE_OVERHEAD;
+        it.compact = step.finish(&cg_meters, PHASE_OVERHEAD);
 
         stats.push_iteration(it);
         if n <= 1 {

@@ -10,10 +10,11 @@
 
 use msf_graph::{EdgeKey, EdgeList, FlexAdjacencyList, OrderedWeight};
 use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::obs;
 use rayon::prelude::*;
 
 use crate::par::common::{connect_components, emit_unique, PHASE_OVERHEAD};
-use crate::stats::{IterationStats, RunStats, StepStats};
+use crate::stats::{IterationStats, RunStats, StepKind, StepSpan};
 use crate::{MsfConfig, MsfResult};
 
 /// Compute the MSF with Bor-FAL.
@@ -40,32 +41,38 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             directed_edges,
             ..Default::default()
         };
-        let mut timer = Stopwatch::start();
+        let _iteration = obs::span(
+            obs::SpanKind::Iteration,
+            stats.iterations.len() as u64,
+            n as u64,
+        );
 
         // Step 1: find-min with on-the-fly translation + self-loop filter.
+        let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
         let mut fm_meters = vec![WorkMeter::new(); p];
         let (to, chosen, any) = find_min(&flex, p, &mut fm_meters);
-        it.find_min = StepStats::from_meters(timer.lap(), &fm_meters);
-        it.find_min.modeled_max += PHASE_OVERHEAD;
+        it.find_min = step.finish(&fm_meters, PHASE_OVERHEAD);
         if !any {
-            // Every supervertex is mature: the forest is complete.
+            // Every supervertex is mature: the forest is complete. This
+            // probe iteration is not pushed onto the stats, so its find-min
+            // span is a trailing singleton in the trace.
             break;
         }
         emit_unique(&mut out, chosen);
 
         // Step 2: connect-components.
+        let step = StepSpan::begin(StepKind::Connect, stats.iterations.len());
         let mut cc_meters = vec![WorkMeter::new(); p];
         let (labels, k) = connect_components(to, p, &mut cc_meters);
-        it.connect = StepStats::from_meters(timer.lap(), &cc_meters);
-        it.connect.modeled_max += PHASE_OVERHEAD;
+        it.connect = step.finish(&cc_meters, PHASE_OVERHEAD);
 
         // Step 3: compact-graph — membership appends + lookup-table rewrite.
+        let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
         let mut cg_meter = WorkMeter::new();
         cg_meter.ops(n as u64); // membership moves
         cg_meter.mem(flex.labels().len() as u64 / p as u64 + 1); // table rewrite
         flex.compact(&labels, k as usize);
-        it.compact = StepStats::from_meters(
-            timer.lap(),
+        it.compact = step.finish(
             &vec![
                 WorkMeter {
                     mem: cg_meter.mem,
@@ -73,8 +80,8 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
                 };
                 p
             ],
+            PHASE_OVERHEAD,
         );
-        it.compact.modeled_max += PHASE_OVERHEAD;
 
         stats.push_iteration(it);
     }

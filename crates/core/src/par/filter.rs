@@ -24,6 +24,7 @@
 use msf_graph::pathmax::PathMaxForest;
 use msf_graph::EdgeList;
 use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::obs;
 use rayon::prelude::*;
 
 use crate::stats::RunStats;
@@ -87,6 +88,8 @@ pub fn msf_with_inner(g: &EdgeList, cfg: &MsfConfig, inner: crate::Algorithm) ->
             (e.u, e.v, orig.key())
         })
         .collect();
+    // Span arg a = edges examined; the END event carries (kept, dropped).
+    let filter_span = obs::span(obs::SpanKind::Filter, g.num_edges() as u64, 0);
     let pm = PathMaxForest::build(n, &forest_edges);
     let mut filter_meters = vec![WorkMeter::new(); p];
     let m = g.num_edges();
@@ -116,6 +119,10 @@ pub fn msf_with_inner(g: &EdgeList, cfg: &MsfConfig, inner: crate::Algorithm) ->
         kept_ids.extend_from_slice(&part);
     }
     stats.add_flat_cost(msf_primitives::cost::modeled_time(&filter_meters));
+    filter_span.end_with(
+        kept_ids.len() as u64,
+        (m - kept_ids.len()) as u64, // dropped by the cycle property
+    );
 
     // Step 4: MSF of the survivors (order-preserving id remap).
     let kept = EdgeList::from_triples(

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use msf_graph::{AdjacencyArray, Edge, EdgeKey, EdgeList, OrderedWeight};
 use msf_primitives::cost::{Stopwatch, WorkMeter};
 use msf_primitives::heap::IndexedHeap;
+use msf_primitives::obs;
 use msf_primitives::permutation::parallel_permutation;
 use msf_primitives::steal::StealingPartitions;
 use msf_primitives::team::SmpTeam;
@@ -35,7 +36,7 @@ use rayon::prelude::*;
 use crate::par::common::{
     connect_components_from_roots, relabel_and_filter, sort_and_dedup, PHASE_OVERHEAD,
 };
-use crate::stats::{IterationStats, MstBcStats, RunStats, StepStats};
+use crate::stats::{IterationStats, MstBcStats, RunStats, StepKind, StepSpan};
 use crate::{MsfConfig, MsfResult};
 
 const NONE: u32 = u32::MAX;
@@ -65,7 +66,12 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             directed_edges: edges.len() * 2,
             ..Default::default()
         };
-        let mut timer = Stopwatch::start();
+        let _iteration = obs::span(
+            obs::SpanKind::Iteration,
+            stats.iterations.len() as u64,
+            n as u64,
+        );
+        let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
 
         // Index edges so chosen edges resolve to current endpoints; the
         // total-order key still uses the ORIGINAL id, keeping the forest
@@ -81,10 +87,10 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
         let (tree_edges, visited, grow_meters, round_stats) =
             grow_trees(&csr, &edges, n, p, cfg, level);
         stats.mstbc = Some(stats.mstbc.unwrap_or_default() + round_stats);
-        it.find_min = StepStats::from_meters(timer.lap(), &grow_meters);
-        it.find_min.modeled_max += PHASE_OVERHEAD;
+        it.find_min = step.finish(&grow_meters, PHASE_OVERHEAD);
 
         // Step 3: Borůvka step for unvisited vertices.
+        let step = StepSpan::begin(StepKind::Connect, stats.iterations.len());
         let mut b_meters = vec![WorkMeter::new(); p];
         let boruvka_edges = unvisited_min_edges(&csr, &edges, &visited, n, p, &mut b_meters);
         let mut chosen = tree_edges;
@@ -100,10 +106,10 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             .collect();
         let roots = msf_primitives::connectivity::sv::connected_components(n, &pairs);
         let (labels, k) = connect_components_from_roots(roots, p, &mut b_meters);
-        it.connect = StepStats::from_meters(timer.lap(), &b_meters);
-        it.connect.modeled_max += PHASE_OVERHEAD;
+        it.connect = step.finish(&b_meters, PHASE_OVERHEAD);
 
         // Step 5: rebuild the graph between supervertices.
+        let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
         let mut cg_meters = vec![WorkMeter::new(); p];
         let survivors = relabel_and_filter(&edges, &labels, p, &mut cg_meters);
         // Canonicalize direction so (u,v) and (v,u) multi-edges merge.
@@ -119,8 +125,7 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             .collect();
         edges = sort_and_dedup(canon, p, &mut cg_meters);
         n = k as usize;
-        it.compact = StepStats::from_meters(timer.lap(), &cg_meters);
-        it.compact.modeled_max += PHASE_OVERHEAD;
+        it.compact = step.finish(&cg_meters, PHASE_OVERHEAD);
 
         stats.push_iteration(it);
         level += 1;
@@ -131,6 +136,7 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
 
     // Base case: one processor solves the contracted remainder (Kruskal).
     if !edges.is_empty() {
+        let base = StepSpan::begin(StepKind::BaseCase, stats.iterations.len());
         let mut meter = WorkMeter::new();
         let mut order: Vec<u32> = (0..edges.len() as u32).collect();
         order.sort_unstable_by_key(|&i| edges[i as usize].key());
@@ -144,7 +150,7 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
             }
         }
         meter.ops((edges.len().max(2).ilog2() as u64) * edges.len() as u64);
-        stats.add_flat_cost(meter.cost());
+        stats.add_flat_cost(base.finish(&[meter], 0).modeled_max);
     }
 
     stats.total_seconds = watch.seconds();

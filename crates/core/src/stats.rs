@@ -2,7 +2,8 @@
 //! traces (Table 1), and modeled parallel cost (Figs. 4–6 on hosts with
 //! fewer cores than the paper's testbed).
 
-use msf_primitives::cost::WorkMeter;
+use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::obs;
 
 /// Wall-clock and modeled cost of one Borůvka-style step within one
 /// iteration.
@@ -41,6 +42,84 @@ impl StepStats {
         self.modeled_max += other.modeled_max;
         self.modeled_total += other.modeled_total;
     }
+}
+
+/// Which Borůvka-structured step a [`StepSpan`] times. Maps one-to-one onto
+/// the observability taxonomy in [`obs::SpanKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// One-time setup before the step loop.
+    Setup,
+    /// The find-min step (or MST-BC's tree-growth phase).
+    FindMin,
+    /// The connect-components step.
+    Connect,
+    /// The compact-graph step.
+    Compact,
+    /// A sequential base-case solve.
+    BaseCase,
+}
+
+impl StepKind {
+    fn span_kind(self) -> obs::SpanKind {
+        match self {
+            StepKind::Setup => obs::SpanKind::Setup,
+            StepKind::FindMin => obs::SpanKind::FindMin,
+            StepKind::Connect => obs::SpanKind::Connect,
+            StepKind::Compact => obs::SpanKind::Compact,
+            StepKind::BaseCase => obs::SpanKind::BaseCase,
+        }
+    }
+}
+
+/// The single source for a step's wall time, modeled cost, and trace span.
+///
+/// `begin` starts the stopwatch and opens the matching [`obs`] span;
+/// [`StepSpan::finish`] measures the wall clock exactly once, folds the
+/// per-block meters (plus the per-phase launch overhead) into a
+/// [`StepStats`], and closes the span with `a = modeled_max`,
+/// `b = wall nanoseconds` ([`event_ns`] of the same `seconds` the stats
+/// carry) — so a drained trace can be reconciled against [`IterationStats`]
+/// *exactly*, not within a tolerance.
+#[derive(Debug)]
+pub struct StepSpan {
+    watch: Stopwatch,
+    span: obs::SpanGuard,
+}
+
+impl StepSpan {
+    /// Start timing a step of `kind` in iteration `iteration` (0 for
+    /// whole-run steps like setup).
+    pub fn begin(kind: StepKind, iteration: usize) -> StepSpan {
+        StepSpan {
+            span: obs::span(kind.span_kind(), iteration as u64, 0),
+            watch: Stopwatch::start(),
+        }
+    }
+
+    /// End the step: assemble its [`StepStats`] from the per-block meters
+    /// and close the trace span. `phase_overhead` is the modeled cost of
+    /// launching the phase (barrier + fork); it is charged to the critical
+    /// path (`modeled_max`) once and to `modeled_total` once per block, so
+    /// `modeled_total >= modeled_max` stays invariant.
+    pub fn finish(self, meters: &[WorkMeter], phase_overhead: u64) -> StepStats {
+        let seconds = self.watch.seconds();
+        let stats = StepStats {
+            seconds,
+            modeled_max: msf_primitives::cost::modeled_time(meters) + phase_overhead,
+            modeled_total: msf_primitives::cost::total_work(meters)
+                + phase_overhead * meters.len().max(1) as u64,
+        };
+        self.span.end_with(stats.modeled_max, event_ns(seconds));
+        stats
+    }
+}
+
+/// The nanosecond encoding used for wall-clock seconds in trace-event args.
+/// Exposed so consistency tests can recompute the exact same `u64` from
+/// [`StepStats::seconds`].
+pub fn event_ns(seconds: f64) -> u64 {
+    (seconds * 1e9) as u64
 }
 
 /// One Borůvka-style iteration: problem size at entry plus the three step
@@ -224,6 +303,100 @@ mod tests {
         assert_eq!(cc.modeled_max, 9);
         assert_eq!(cg.modeled_max, 35);
         assert!((fm.seconds - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_meters_and_finish_keep_total_at_least_max() {
+        let meters = [
+            WorkMeter { mem: 10, ops: 5 },
+            WorkMeter { mem: 2, ops: 100 },
+            WorkMeter { mem: 0, ops: 0 },
+        ];
+        let s = StepStats::from_meters(0.5, &meters);
+        assert!(s.modeled_total >= s.modeled_max);
+
+        // StepSpan charges phase overhead to the critical path once and to
+        // the total once per block, so the invariant survives the overhead.
+        for overhead in [0u64, 1, 20_000] {
+            for k in 1..=3usize {
+                let sp = StepSpan::begin(StepKind::FindMin, 0);
+                let s = sp.finish(&meters[..k], overhead);
+                assert!(
+                    s.modeled_total >= s.modeled_max,
+                    "k={k} overhead={overhead}: {s:?}"
+                );
+            }
+        }
+
+        let serial = StepStats::serial(0.1, WorkMeter { mem: 3, ops: 7 });
+        assert_eq!(serial.modeled_total, serial.modeled_max);
+    }
+
+    #[test]
+    fn merge_is_additive_in_every_field() {
+        let a = StepStats {
+            seconds: 0.25,
+            modeled_max: 10,
+            modeled_total: 30,
+        };
+        let b = StepStats {
+            seconds: 0.75,
+            modeled_max: 7,
+            modeled_total: 9,
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.seconds, a.seconds + b.seconds);
+        assert_eq!(m.modeled_max, 17);
+        assert_eq!(m.modeled_total, 39);
+        // Merging inputs that each satisfy total >= max preserves it.
+        assert!(m.modeled_total >= m.modeled_max);
+    }
+
+    #[test]
+    fn mesh_run_iteration_breakdowns_sum_to_run_totals() {
+        let g = msf_graph::generators::mesh2d(
+            &msf_graph::generators::GeneratorConfig::with_seed(1),
+            12,
+            12,
+        );
+        let cfg = crate::MsfConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let r = crate::minimum_spanning_forest(&g, crate::Algorithm::BorAl, &cfg);
+        let stats = &r.stats;
+        assert!(!stats.iterations.is_empty());
+
+        // step_totals must be the exact fold of the per-iteration rows.
+        let (fm, cc, cg) = stats.step_totals();
+        let mut esum = (
+            StepStats::default(),
+            StepStats::default(),
+            StepStats::default(),
+        );
+        for it in &stats.iterations {
+            esum.0.merge(&it.find_min);
+            esum.1.merge(&it.connect);
+            esum.2.merge(&it.compact);
+            for step in [&it.find_min, &it.connect, &it.compact] {
+                assert!(step.modeled_total >= step.modeled_max, "{step:?}");
+            }
+        }
+        assert_eq!(fm.modeled_max, esum.0.modeled_max);
+        assert_eq!(cc.modeled_total, esum.1.modeled_total);
+        assert_eq!(cg.modeled_max, esum.2.modeled_max);
+        assert_eq!(fm.seconds, esum.0.seconds);
+
+        // Bor-AL has no flat cost: the whole-run modeled cost is exactly
+        // the sum of every step's critical path.
+        assert_eq!(
+            stats.modeled_cost,
+            fm.modeled_max + cc.modeled_max + cg.modeled_max
+        );
+        // And the wall clock covers at least the steps it contains.
+        let step_seconds = fm.seconds + cc.seconds + cg.seconds;
+        assert!(stats.total_seconds >= step_seconds * 0.99);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Per-thread event rings and the global collector.
+//!
+//! Each recording thread owns one ring for the process lifetime. The owner is
+//! the only writer: it stores the four words of an [`Event`] into the slot at
+//! `cursor % capacity` with relaxed stores, then publishes the slot with a
+//! single release store of the incremented cursor. The collector acquires the
+//! cursor and reads slots with relaxed loads — no CAS, no locks, and no
+//! `unsafe` anywhere (slots are plain `AtomicU64` words, so a racing
+//! overwrite during a non-quiescent drain can at worst yield a stale event,
+//! never undefined behavior).
+//!
+//! Rings are flight recorders: when the owner laps the collector the oldest
+//! events are overwritten and the collector reports them as `dropped`.
+
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::{Event, Trace, TraceEvent, TraceThread};
+
+/// Default per-thread ring capacity in events (32 bytes per event).
+pub(crate) const DEFAULT_CAPACITY: usize = 16 * 1024;
+
+const WORDS: usize = 4;
+
+/// Start-of-struct padding keeps each ring's hot cursor on its own cache
+/// line relative to the registry `Vec` that holds the `Arc`s.
+#[repr(align(128))]
+pub(crate) struct Ring {
+    tid: u32,
+    name: String,
+    capacity: u64,
+    /// Total events ever written; only the owner stores it.
+    cursor: AtomicU64,
+    /// Collector bookmark: events before this sequence were already drained.
+    drained: AtomicU64,
+    /// `capacity * 4` words; slot `s` lives at `[(s % capacity) * 4 ..][..4]`.
+    words: Box<[AtomicU64]>,
+}
+
+impl Ring {
+    fn new(tid: u32, name: String, capacity: usize) -> Ring {
+        let words = (0..capacity * WORDS).map(|_| AtomicU64::new(0)).collect();
+        Ring {
+            tid,
+            name,
+            capacity: capacity as u64,
+            cursor: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            words,
+        }
+    }
+
+    /// Owner-only: append one event.
+    #[inline]
+    fn push(&self, e: Event) {
+        let seq = self.cursor.load(Ordering::Relaxed);
+        let base = ((seq % self.capacity) as usize) * WORDS;
+        self.words[base].store(e.tsc_ns, Ordering::Relaxed);
+        self.words[base + 1].store(e.kind as u64, Ordering::Relaxed);
+        self.words[base + 2].store(e.a, Ordering::Relaxed);
+        self.words[base + 3].store(e.b, Ordering::Relaxed);
+        // Publish the slot: pairs with the collector's acquire cursor load.
+        self.cursor.store(seq + 1, Ordering::Release);
+    }
+}
+
+// ---- registry ----------------------------------------------------------
+
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// Set the capacity used for rings allocated from now on. Existing rings
+/// keep their size (the capacity is per-ring, frozen at allocation).
+pub(crate) fn set_default_capacity(capacity: usize) {
+    CAPACITY.store(capacity.clamp(16, 1 << 24), Ordering::Relaxed);
+}
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<Ring>> = const { OnceCell::new() };
+}
+
+fn register() -> Arc<Ring> {
+    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    let name = std::thread::current()
+        .name()
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("thread-{tid}"));
+    let ring = Arc::new(Ring::new(tid, name, CAPACITY.load(Ordering::Relaxed)));
+    rings()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Arc::clone(&ring));
+    ring
+}
+
+/// Record one event on the calling thread's ring (allocating and
+/// registering the ring on first use).
+#[inline]
+pub(crate) fn record(kind: u32, a: u64, b: u64) {
+    let tsc_ns = crate::now_ns();
+    LOCAL.with(|cell| {
+        cell.get_or_init(register)
+            .push(Event { tsc_ns, kind, a, b });
+    });
+}
+
+/// The capacity of the calling thread's ring (allocating it if needed).
+/// Test support.
+#[cfg(test)]
+pub(crate) fn capacity_for_current_thread() -> usize {
+    LOCAL.with(|cell| cell.get_or_init(register).capacity as usize)
+}
+
+// ---- collector ---------------------------------------------------------
+
+/// Drain all rings: every event published since the previous drain, oldest
+/// first per thread, plus how many were overwritten before we got to them.
+pub(crate) fn drain_all() -> Trace {
+    let rings = rings().lock().unwrap_or_else(|e| e.into_inner());
+    let mut threads = Vec::with_capacity(rings.len());
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for ring in rings.iter() {
+        threads.push(TraceThread {
+            tid: ring.tid,
+            name: ring.name.clone(),
+        });
+        // Acquire pairs with the owner's release store: every slot at
+        // sequence < end is fully written.
+        let end = ring.cursor.load(Ordering::Acquire);
+        let start = ring.drained.load(Ordering::Relaxed);
+        let available = end - start;
+        let taken = available.min(ring.capacity);
+        dropped += available - taken;
+        for seq in (end - taken)..end {
+            let base = ((seq % ring.capacity) as usize) * WORDS;
+            let kind = ring.words[base + 1].load(Ordering::Relaxed) as u32;
+            let (phase, kind_id) = crate::unpack(kind);
+            let Some(phase) = phase else { continue };
+            events.push(TraceEvent {
+                tid: ring.tid,
+                seq,
+                ts_ns: ring.words[base].load(Ordering::Relaxed),
+                phase,
+                kind: kind_id,
+                a: ring.words[base + 2].load(Ordering::Relaxed),
+                b: ring.words[base + 3].load(Ordering::Relaxed),
+            });
+        }
+        ring.drained.store(end, Ordering::Relaxed);
+    }
+    // Only the collector writes `drained`, and only under the registry
+    // lock, so concurrent drains see a consistent hand-off.
+    Trace {
+        threads,
+        events,
+        dropped,
+    }
+}

@@ -38,6 +38,7 @@ mod latch;
 mod registry;
 pub mod slots;
 pub mod team;
+mod telemetry;
 
 use std::cell::Cell;
 use std::sync::OnceLock;
@@ -45,6 +46,14 @@ use std::sync::OnceLock;
 pub use barrier::{BarrierPoisoned, SenseBarrier};
 pub use slots::RankSlots;
 pub use team::{run_team, run_team_collect};
+pub use telemetry::{PoolStats, PoolWorkerStats};
+
+/// A monotone snapshot of the pool's lifetime telemetry counters (steals,
+/// injector traffic, parks/wakes, deque overflows, team leases). Never
+/// starts the pool: before first use all counters are zero and `width` is 0.
+pub fn pool_stats() -> PoolStats {
+    registry::stats_snapshot()
+}
 
 /// True when the process-wide sequential escape hatch is on: either the
 /// `sequential` cargo feature or `MSF_SEQUENTIAL=1|true|yes` in the

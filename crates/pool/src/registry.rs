@@ -10,6 +10,7 @@ use std::time::Duration;
 use crate::deque::Deque;
 use crate::job::{JobRef, StackJob};
 use crate::latch::Latch;
+use crate::telemetry::{PoolStats, RegistryCounters};
 
 /// One stealing worker's view of the pool.
 pub(crate) struct Registry {
@@ -22,6 +23,9 @@ pub(crate) struct Registry {
     sleepers: AtomicUsize,
     sleep_lock: Mutex<()>,
     wake: Condvar,
+    /// Lifetime telemetry; see [`crate::telemetry`]. Counters live on rare
+    /// paths only, so they are always on.
+    counters: RegistryCounters,
 }
 
 static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
@@ -50,6 +54,7 @@ pub(crate) fn global() -> &'static Registry {
             sleepers: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
             wake: Condvar::new(),
+            counters: RegistryCounters::new(width),
         }));
         for index in 0..width {
             std::thread::Builder::new()
@@ -71,6 +76,7 @@ impl Registry {
             self.wake_sleepers();
             true
         } else {
+            self.counters.overflows.bump();
             false
         }
     }
@@ -81,6 +87,7 @@ impl Registry {
             .lock()
             .expect("injector mutex poisoned")
             .push_back(job);
+        self.counters.injector_pushes.bump();
         self.wake_sleepers();
     }
 
@@ -110,6 +117,7 @@ impl Registry {
             // sleeper either sees the published work or gets this notify.
             let _guard = self.sleep_lock.lock().expect("sleep mutex poisoned");
             self.wake.notify_all();
+            self.counters.wakes.bump();
         }
     }
 
@@ -125,10 +133,15 @@ impl Registry {
     }
 
     fn pop_injected(&self) -> Option<JobRef> {
-        self.injector
+        let job = self
+            .injector
             .lock()
             .expect("injector mutex poisoned")
-            .pop_front()
+            .pop_front();
+        if job.is_some() {
+            self.counters.injector_pops.bump();
+        }
+        job
     }
 
     /// One full scan: own deque, injector, then every other worker's deque
@@ -148,8 +161,14 @@ impl Registry {
                 continue;
             }
             if let Some(job) = self.deques[victim].steal() {
+                self.counters.workers[me]
+                    .steal_hits
+                    .fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
+            self.counters.workers[me]
+                .steal_misses
+                .fetch_add(1, Ordering::Relaxed);
         }
         None
     }
@@ -175,6 +194,9 @@ impl Registry {
             self.sleepers.fetch_add(1, Ordering::SeqCst);
             std::sync::atomic::fence(Ordering::SeqCst);
             if !self.has_visible_work() {
+                self.counters.workers[index]
+                    .parks
+                    .fetch_add(1, Ordering::Relaxed);
                 let _ = self
                     .wake
                     .wait_timeout(guard, Duration::from_millis(2))
@@ -306,6 +328,19 @@ impl Registry {
                 (Ok(_), Err(payload)) => std::panic::resume_unwind(payload),
             }
         }
+    }
+}
+
+/// The current telemetry snapshot; zeros (width 0) when the pool was never
+/// started, so the query itself does not force workers into existence.
+pub(crate) fn stats_snapshot() -> PoolStats {
+    match REGISTRY.get() {
+        Some(registry) => registry.counters.snapshot(),
+        None => PoolStats {
+            team_threads_spawned: crate::team::TEAM_SPAWNS.load(Ordering::Relaxed),
+            team_leases: crate::team::TEAM_LEASES.load(Ordering::Relaxed),
+            ..PoolStats::default()
+        },
     }
 }
 

@@ -11,10 +11,15 @@
 //! Borůvka phase reuses them instead of paying a spawn+join per phase.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crate::latch::Latch;
+
+/// Dedicated team threads ever spawned (telemetry; see [`crate::PoolStats`]).
+pub(crate) static TEAM_SPAWNS: AtomicU64 = AtomicU64::new(0);
+/// Leases served, one per non-zero rank per team run (telemetry).
+pub(crate) static TEAM_LEASES: AtomicU64 = AtomicU64::new(0);
 
 /// A panic payload captured from one rank, tagged with the rank.
 pub type RankPanic = (usize, Box<dyn std::any::Any + Send + 'static>);
@@ -80,6 +85,7 @@ fn team_thread_main(me: Arc<TeamThread>) {
 }
 
 fn lease_thread() -> Arc<TeamThread> {
+    TEAM_LEASES.fetch_add(1, Ordering::Relaxed);
     if let Some(thread) = idle_threads()
         .lock()
         .expect("team idle list poisoned")
@@ -87,6 +93,7 @@ fn lease_thread() -> Arc<TeamThread> {
     {
         return thread;
     }
+    TEAM_SPAWNS.fetch_add(1, Ordering::Relaxed);
     let thread = Arc::new(TeamThread {
         mailbox: Mutex::new(None),
         cv: Condvar::new(),

@@ -1,0 +1,182 @@
+//! Always-on pool telemetry: relaxed monotone counters on the registry's
+//! rare paths (steal probes, injector traffic, sleep/wake, deque overflow)
+//! and the team-thread cache, snapshotted as a [`PoolStats`].
+//!
+//! Counters are deliberately *not* gated by `MSF_TRACE`: every increment
+//! sits on a path that already paid a CAS, a mutex, or a condvar, so a
+//! relaxed `fetch_add` is noise there. The hot local push/pop fast path has
+//! no counter at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed monotone counter padded to its own cache-line pair so writers
+/// of different counters never false-share.
+#[repr(align(128))]
+#[derive(Default)]
+pub(crate) struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub(crate) fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One stealing worker's counters. All three are written only by the owning
+/// worker, so they share the worker's own padded line.
+#[repr(align(128))]
+#[derive(Default)]
+pub(crate) struct WorkerCounters {
+    pub(crate) steal_hits: AtomicU64,
+    pub(crate) steal_misses: AtomicU64,
+    pub(crate) parks: AtomicU64,
+}
+
+/// The registry-owned counter block.
+pub(crate) struct RegistryCounters {
+    pub(crate) workers: Box<[WorkerCounters]>,
+    pub(crate) injector_pushes: Counter,
+    pub(crate) injector_pops: Counter,
+    pub(crate) wakes: Counter,
+    pub(crate) overflows: Counter,
+}
+
+impl RegistryCounters {
+    pub(crate) fn new(width: usize) -> RegistryCounters {
+        RegistryCounters {
+            workers: (0..width).map(|_| WorkerCounters::default()).collect(),
+            injector_pushes: Counter::default(),
+            injector_pops: Counter::default(),
+            wakes: Counter::default(),
+            overflows: Counter::default(),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            width: self.workers.len(),
+            workers: self
+                .workers
+                .iter()
+                .map(|w| PoolWorkerStats {
+                    steal_hits: w.steal_hits.load(Ordering::Relaxed),
+                    steal_misses: w.steal_misses.load(Ordering::Relaxed),
+                    parks: w.parks.load(Ordering::Relaxed),
+                })
+                .collect(),
+            injector_pushes: self.injector_pushes.get(),
+            injector_pops: self.injector_pops.get(),
+            wakes: self.wakes.get(),
+            deque_overflows: self.overflows.get(),
+            team_threads_spawned: crate::team::TEAM_SPAWNS.load(Ordering::Relaxed),
+            team_leases: crate::team::TEAM_LEASES.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-worker slice of a [`PoolStats`] snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolWorkerStats {
+    /// Successful steals from another worker's deque.
+    pub steal_hits: u64,
+    /// Steal probes that found the victim's deque empty or contended.
+    pub steal_misses: u64,
+    /// Times this worker entered the condvar sleep protocol.
+    pub parks: u64,
+}
+
+/// A monotone snapshot of the pool's lifetime telemetry. Taken with
+/// [`crate::pool_stats`]; counters never reset, so rate over an interval is
+/// the difference of two snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Stealing-worker count (0 when the pool was never started).
+    pub width: usize,
+    /// Per-worker steal and park counters, indexed by worker id.
+    pub workers: Vec<PoolWorkerStats>,
+    /// Jobs submitted through the external-thread injector.
+    pub injector_pushes: u64,
+    /// Injected jobs claimed by workers (the rest were reclaimed by their
+    /// submitters).
+    pub injector_pops: u64,
+    /// `notify_all` wakeups actually issued (publishers skip the condvar
+    /// while no worker sleeps).
+    pub wakes: u64,
+    /// Fork attempts that found the worker's deque full and ran inline.
+    pub deque_overflows: u64,
+    /// Dedicated SPMD team threads ever created.
+    pub team_threads_spawned: u64,
+    /// Team-thread leases served (one per non-zero rank per `SmpTeam::run`).
+    pub team_leases: u64,
+}
+
+impl PoolStats {
+    /// Total successful steals across workers.
+    pub fn steal_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_hits).sum()
+    }
+
+    /// Total failed steal probes across workers.
+    pub fn steal_misses(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_misses).sum()
+    }
+
+    /// Total sleep-protocol entries across workers.
+    pub fn parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_workers() {
+        let stats = PoolStats {
+            width: 2,
+            workers: vec![
+                PoolWorkerStats {
+                    steal_hits: 3,
+                    steal_misses: 10,
+                    parks: 1,
+                },
+                PoolWorkerStats {
+                    steal_hits: 4,
+                    steal_misses: 20,
+                    parks: 2,
+                },
+            ],
+            ..PoolStats::default()
+        };
+        assert_eq!(stats.steal_hits(), 7);
+        assert_eq!(stats.steal_misses(), 30);
+        assert_eq!(stats.parks(), 3);
+    }
+
+    #[test]
+    fn pool_work_moves_the_counters() {
+        crate::force_width(4);
+        let before = crate::pool_stats();
+        // A team run leases p-1 = 3 threads, deterministically.
+        crate::run_team(4, &|_rank| {});
+        // An external join always injects its b half.
+        let (a, b) = crate::join(|| 1u32, || 2u32);
+        assert_eq!((a, b), (1, 2));
+        let after = crate::pool_stats();
+        assert_eq!(after.width, 4);
+        assert_eq!(after.workers.len(), 4);
+        assert!(after.team_leases >= before.team_leases + 3);
+        assert!(after.team_threads_spawned >= 3);
+        assert!(after.injector_pushes > before.injector_pushes);
+        // Monotonicity across the board.
+        assert!(after.steal_hits() >= before.steal_hits());
+        assert!(after.steal_misses() >= before.steal_misses());
+        assert!(after.parks() >= before.parks());
+        assert!(after.wakes >= before.wakes);
+    }
+}

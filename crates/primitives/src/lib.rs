@@ -29,10 +29,15 @@
 //!   the Helman–JáJá SMP cost model (memory accesses + computation), used to
 //!   produce deterministic modeled speedup curves on machines with fewer
 //!   physical cores than the paper's testbed.
+//! * [`obs`] — the observability subsystem (re-export of the `msf-obs`
+//!   crate): per-thread lock-free event rings, span tracing over the
+//!   Borůvka step loops and team lifecycles, and chrome-trace export,
+//!   gated by `MSF_TRACE` (see DESIGN.md §11).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use msf_obs as obs;
 pub use msf_pool as pool;
 
 pub mod arena;

@@ -81,6 +81,11 @@ impl SmpTeam {
 
     /// Run `f` on every member; returns the per-rank results in rank order.
     ///
+    /// When tracing is enabled (see [`crate::obs`]) the whole run is wrapped
+    /// in a `team-run` span (`a = p`) on the calling thread, and each rank's
+    /// closure in a `rank` span (`a = rank`, `b = p`) on the thread that
+    /// executes it — rank 0 of a pooled run executes inline on the caller.
+    ///
     /// See the module docs for the panic-propagation contract.
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
@@ -88,6 +93,7 @@ impl SmpTeam {
         F: Fn(&TeamCtx<'_>) -> R + Sync,
     {
         let p = self.p;
+        let _team_run = crate::obs::span(crate::obs::SpanKind::TeamRun, p as u64, 0);
         let barrier = SenseBarrier::new(p);
         if p == 1 {
             // Degenerate team: run inline, still honoring barrier() calls.
@@ -96,6 +102,7 @@ impl SmpTeam {
                 p: 1,
                 barrier: &barrier,
             };
+            let _rank = crate::obs::span(crate::obs::SpanKind::Rank, 0, 1);
             return vec![f(&ctx)];
         }
         if msf_pool::sequential_here() {
@@ -107,6 +114,7 @@ impl SmpTeam {
                 p,
                 barrier: &barrier,
             };
+            let _rank = crate::obs::span(crate::obs::SpanKind::Rank, rank as u64, p as u64);
             match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
                 Ok(result) => result,
                 Err(payload) => {
@@ -140,6 +148,8 @@ where
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     msf_pool::with_sequential(|| {
                         let ctx = TeamCtx { rank, p, barrier };
+                        let _rank =
+                            crate::obs::span(crate::obs::SpanKind::Rank, rank as u64, p as u64);
                         f(&ctx)
                     })
                 }));

@@ -1,0 +1,156 @@
+//! End-to-end contract of the observability subsystem (`msf_primitives::obs`):
+//! with tracing on, every parallel algorithm emits a well-nested span tree
+//! whose per-step END payloads are *exactly* the numbers recorded in
+//! `RunStats` — the trace and the stats are two views of one measurement,
+//! not two measurements. With tracing off, nothing is recorded at all.
+//!
+//! Inputs are connected meshes: on a connected graph no algorithm takes the
+//! Bor-FAL maturity break, so step spans correspond one-to-one with the
+//! iterations pushed onto the stats and the sums can be compared with `==`
+//! (the END events carry the exact `modeled_max` / `event_ns(seconds)`
+//! values, so there is no float slop anywhere).
+//!
+//! The obs globals (enable flag, per-thread rings, epoch) are process-wide,
+//! so every test here serializes on one mutex and drains the rings before
+//! and after its run.
+
+use std::sync::Mutex;
+
+use msf_core::stats::event_ns;
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig};
+use msf_graph::generators::{mesh2d, GeneratorConfig};
+use msf_graph::EdgeList;
+use msf_primitives::obs;
+use obs::{Phase, SpanKind};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn mesh() -> EdgeList {
+    mesh2d(&GeneratorConfig::with_seed(11), 30, 30)
+}
+
+/// Run one algorithm with tracing on and return (its trace, its result).
+fn traced_run(g: &EdgeList, algo: Algorithm, p: usize) -> (obs::Trace, msf_core::MsfResult) {
+    msf_pool::force_width(4);
+    obs::set_enabled(true);
+    let _ = obs::drain(); // discard events from earlier tests / pool warmup
+    let r = minimum_spanning_forest(g, algo, &MsfConfig::with_threads(p));
+    let trace = obs::drain();
+    obs::set_enabled(false);
+    (trace, r)
+}
+
+#[test]
+fn every_parallel_algorithm_emits_a_well_nested_trace() {
+    let _l = lock();
+    let g = mesh();
+    for algo in Algorithm::PARALLEL {
+        let (trace, _) = traced_run(&g, algo, 2);
+        assert_eq!(trace.dropped, 0, "{algo}: ring overflow on a small mesh");
+        trace
+            .validate_nesting()
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        // Exactly one whole-run span, and at least one span per Borůvka
+        // step kind (MST-BC also uses the find-min/connect/compact taxonomy
+        // for its grow/contract/rebuild phases).
+        assert_eq!(trace.count(SpanKind::Run, Phase::End), 1, "{algo}");
+        for kind in [SpanKind::FindMin, SpanKind::Connect, SpanKind::Compact] {
+            assert!(
+                trace.count(kind, Phase::End) >= 1,
+                "{algo}: no {} span",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn step_span_payloads_sum_to_the_iteration_stats() {
+    let _l = lock();
+    let g = mesh();
+    for algo in Algorithm::PARALLEL {
+        let (trace, r) = traced_run(&g, algo, 2);
+        let stats = &r.stats;
+        assert!(!stats.iterations.is_empty(), "{algo}");
+        // Connected input: no maturity-break probe iteration, so the span
+        // count is exactly the iteration count.
+        assert_eq!(
+            trace.count(SpanKind::Iteration, Phase::End),
+            stats.iterations.len(),
+            "{algo}"
+        );
+        for (kind, pick) in [
+            (SpanKind::FindMin, 0usize),
+            (SpanKind::Connect, 1),
+            (SpanKind::Compact, 2),
+        ] {
+            let (sum_max, sum_ns) = trace.sum_end_args(kind);
+            let expect_max: u64 = stats
+                .iterations
+                .iter()
+                .map(|it| [&it.find_min, &it.connect, &it.compact][pick].modeled_max)
+                .sum();
+            let expect_ns: u64 = stats
+                .iterations
+                .iter()
+                .map(|it| event_ns([&it.find_min, &it.connect, &it.compact][pick].seconds))
+                .sum();
+            assert_eq!(sum_max, expect_max, "{algo} {} modeled_max", kind.name());
+            assert_eq!(sum_ns, expect_ns, "{algo} {} seconds", kind.name());
+        }
+    }
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_named_spans() {
+    let _l = lock();
+    let g = mesh();
+    let (trace, _) = traced_run(&g, Algorithm::BorAl, 2);
+    let json = trace.chrome_json();
+    obs::validate_json(&json).expect("chrome trace must be valid JSON");
+    for name in ["find-min", "connect-components", "compact-graph", "run"] {
+        assert!(json.contains(&format!("\"name\":\"{name}\"")), "{name}");
+    }
+    assert!(json.contains("\"traceEvents\""));
+    // The text summary names every kind that appeared.
+    let summary = trace.summary();
+    assert!(summary.contains("find-min"), "{summary}");
+}
+
+#[test]
+fn mst_bc_records_team_and_rank_lifecycles() {
+    let _l = lock();
+    let g = mesh();
+    let (trace, _) = traced_run(&g, Algorithm::MstBc, 4);
+    trace.validate_nesting().expect("nesting");
+    assert!(trace.count(SpanKind::TeamRun, Phase::End) >= 1);
+    // Every team run of width 4 contributes 4 rank spans.
+    assert!(trace.count(SpanKind::Rank, Phase::End) >= 4);
+    // Rank spans land on the executing threads; at least rank 0 runs inline
+    // on the caller, the rest on leased team threads — so the trace spans
+    // more than one thread.
+    assert!(trace.threads.len() > 1, "team ranks must appear per-thread");
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _l = lock();
+    let g = mesh();
+    obs::set_enabled(true);
+    let _ = obs::drain();
+    obs::set_enabled(false);
+    let r = minimum_spanning_forest(&g, Algorithm::BorEl, &MsfConfig::with_threads(2));
+    assert!(!r.edges.is_empty());
+    obs::set_enabled(true); // drain under the same epoch
+    let trace = obs::drain();
+    obs::set_enabled(false);
+    assert!(
+        trace.is_empty(),
+        "disabled tracing must write no events, got {}",
+        trace.events.len()
+    );
+}
