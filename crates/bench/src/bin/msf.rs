@@ -3,11 +3,12 @@
 //! ```sh
 //! msf compute <graph.gr> [--algo bor-fal] [--threads 8] [--verify] [--out forest.txt] [--trace t.json]
 //! msf certify <graph.gr> [--algo bor-fal] [--threads 8]
-//! msf trace <graph.gr> [--algo bor-fal] [--threads 8] [--out trace.json]
+//! msf trace <graph.gr> [--algo bor-fal] [--threads 8] [--out trace.json] [--strict]
 //! msf fuzz [--cases 500] [--seed 2026] [--corpus DIR] [--max-n 96] [--inject-failure]
 //! msf generate <kind> [params…] --out graph.gr [--weights uniform|small-int|exponential|bimodal]
 //! msf info <graph.gr>
-//! msf bench [--scale smoke|default|paper] [--seed 2026] [--json] [--out BENCH.json] [--trace t.json]
+//! msf bench [--scale smoke|default|paper] [--seed 2026] [--repeats K] [--json] [--out BENCH.json]
+//! msf regress --baseline OLD.json --candidate NEW.json [--threshold PCT] [--min-wall SECS]
 //! ```
 //!
 //! Graphs are DIMACS-style (`p sp n m` + `a u v w` lines, 1-indexed). The
@@ -17,8 +18,12 @@
 //! portfolio on generated graphs, shrinking any failure to a minimal DIMACS
 //! reproducer in the corpus directory; `trace` runs one algorithm with the
 //! observability rings on and exports a `chrome://tracing` / Perfetto JSON
-//! plus a per-span-kind text summary. `MSF_TRACE=1` turns tracing on for any
+//! plus a per-span-kind text summary (`--strict` exits nonzero if any ring
+//! overflowed and dropped events). `MSF_TRACE=1` turns tracing on for any
 //! subcommand; `--trace PATH` does the same and writes the chrome JSON.
+//! `bench --json` emits a schema-versioned report with per-phase histogram
+//! summaries and allocator statistics; `regress` compares two such reports
+//! and exits nonzero when the candidate regressed.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -31,17 +36,25 @@ use msf_graph::generators::{
 use msf_graph::{io, EdgeList};
 use msf_primitives::obs;
 
+/// Count heap traffic at the allocator (gated by `MSF_ALLOC_STATS`, forced
+/// on by `msf bench`); disabled it is one relaxed load over plain `System`.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
+
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          msf compute <graph.gr> [--algo NAME] [--threads P] [--verify] [--out FILE] [--trace FILE]\n  \
          msf certify <graph.gr> [--algo NAME] [--threads P]\n  \
-         msf trace <graph.gr> [--algo NAME] [--threads P] [--out FILE]\n  \
+         msf trace <graph.gr> [--algo NAME] [--threads P] [--out FILE] [--strict]\n  \
          msf fuzz [--cases N] [--seed S] [--corpus DIR] [--max-n N] [--inject-failure]\n  \
          msf generate <random n m | mesh side | 2d60 side | 3d40 side | geometric n k | str0..str3 n>\n      \
          [--seed S] [--weights uniform|small-int|exponential|bimodal] --out FILE\n  \
          msf info <graph.gr>\n  \
-         msf bench [--scale smoke|default|paper] [--seed S] [--json] [--out FILE] [--trace FILE]\n\n\
+         msf bench [--scale smoke|default|paper] [--seed S] [--repeats K] [--json] [--out FILE]\n      \
+         [--trace FILE]\n  \
+         msf regress --baseline OLD.json --candidate NEW.json [--threshold PCT] [--min-wall SECS]\n      \
+         [--out FILE]\n\n\
          algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc"
     );
     std::process::exit(2);
@@ -49,7 +62,8 @@ fn usage() -> ! {
 
 /// Drain the event rings and write the chrome-trace JSON; nesting violations
 /// are fatal (a malformed trace means an instrumentation bug, not bad input).
-fn finish_trace(path: &str) {
+/// With `strict`, dropped events (ring overflow) are fatal too.
+fn finish_trace(path: &str, strict: bool) {
     let trace = obs::drain();
     if let Err(e) = trace.validate_nesting() {
         eprintln!("TRACE NESTING VIOLATION: {e}");
@@ -58,6 +72,13 @@ fn finish_trace(path: &str) {
     std::fs::write(path, trace.chrome_json()).expect("write trace JSON");
     eprintln!("{}", trace.summary());
     eprintln!("chrome trace written to {path} (load in chrome://tracing or ui.perfetto.dev)");
+    if strict && trace.dropped > 0 {
+        eprintln!(
+            "--strict: {} events were dropped to ring overflow; failing",
+            trace.dropped
+        );
+        std::process::exit(1);
+    }
 }
 
 fn parse_algo(s: &str) -> Option<Algorithm> {
@@ -100,6 +121,7 @@ fn main() {
         Some("generate") => generate(&args[1..]),
         Some("info") => info(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("regress") => regress_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -109,6 +131,7 @@ fn trace_cmd(args: &[String]) {
     let mut algo = Algorithm::BorFal;
     let mut threads = rayon::current_num_threads().max(1);
     let mut out_path = String::from("trace.json");
+    let mut strict = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -130,6 +153,7 @@ fn trace_cmd(args: &[String]) {
                 i += 1;
                 out_path = args.get(i).cloned().unwrap_or_else(|| usage());
             }
+            "--strict" => strict = true,
             _ => usage(),
         }
         i += 1;
@@ -147,7 +171,7 @@ fn trace_cmd(args: &[String]) {
         result.components,
         result.stats.total_seconds
     );
-    finish_trace(&out_path);
+    finish_trace(&out_path, strict);
 }
 
 fn certify(args: &[String]) {
@@ -334,7 +358,7 @@ fn compute(args: &[String]) {
         eprintln!("forest written to {out_path}");
     }
     if let Some(trace_path) = trace_path {
-        finish_trace(&trace_path);
+        finish_trace(&trace_path, false);
     }
 }
 
@@ -438,6 +462,7 @@ fn bench_inputs(scale: msf_bench::Scale, seed: u64) -> Vec<(&'static str, String
 fn bench(args: &[String]) {
     let mut scale = msf_bench::Scale::Default;
     let mut seed = 2026u64;
+    let mut repeats = 1usize;
     let mut json = false;
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -458,6 +483,14 @@ fn bench(args: &[String]) {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--repeats" => {
+                i += 1;
+                repeats = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--json" => json = true,
             "--out" => {
                 i += 1;
@@ -475,20 +508,25 @@ fn bench(args: &[String]) {
         obs::set_enabled(true);
         let _ = obs::drain();
     }
+    // The bench report depends on the metrics registry (phase histograms)
+    // and the counting allocator (Bor-AL vs Bor-ALM heap traffic), so both
+    // are forced on regardless of MSF_METRICS / MSF_ALLOC_STATS.
+    obs::metrics::set_enabled(true);
+    obs::alloc::set_enabled(true);
 
     let scale_name = match scale {
         msf_bench::Scale::Paper => "paper",
         msf_bench::Scale::Default => "default",
         msf_bench::Scale::Smoke => "smoke",
     };
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    let pool_width = msf_pool::width();
-    let sequential = msf_pool::sequential_env();
 
-    // Each entry: (generator family, graph name, |V|, |E|, per-algorithm sweeps).
-    type AlgoSweeps = Vec<(Algorithm, Vec<(msf_bench::Measurement, f64)>)>;
+    // Each entry: (generator family, graph name, |V|, |E|, per-algorithm
+    // sweeps with the heap traffic each sweep induced).
+    type AlgoSweeps = Vec<(
+        Algorithm,
+        Vec<(msf_bench::Measurement, f64)>,
+        obs::alloc::AllocStats,
+    )>;
     let mut report: Vec<(&'static str, String, usize, usize, AlgoSweeps)> = Vec::new();
     for (family, name, g) in bench_inputs(scale, seed) {
         eprintln!(
@@ -498,35 +536,75 @@ fn bench(args: &[String]) {
         );
         let mut sweeps = Vec::new();
         for algo in Algorithm::PARALLEL {
-            let sweep = msf_bench::sweep(&g, algo);
+            // Bracket the sweep with allocator snapshots; rebasing the peak
+            // makes `peak_bytes` the high-water mark of *this* sweep.
+            obs::alloc::reset_peak();
+            let before = obs::alloc::stats();
+            let sweep = msf_bench::sweep_min_of(&g, algo, repeats);
+            let alloc_delta = obs::alloc::stats().since(&before);
             for (m, est) in &sweep {
                 eprintln!(
                     "  {algo} p={}: wall {:.4}s, est {:.4}s (modeled cost {})",
                     m.threads, m.wall_seconds, est, m.modeled_cost
                 );
             }
-            sweeps.push((algo, sweep));
+            sweeps.push((algo, sweep, alloc_delta));
         }
         report.push((family, name, g.num_vertices(), g.num_edges(), sweeps));
     }
 
+    // The paper's §2.2 claim, measured: Bor-ALM's arena recycling should
+    // show orders of magnitude fewer allocator calls than Bor-AL.
+    eprintln!();
+    eprintln!("heap traffic per algorithm sweep (counting allocator):");
+    eprintln!(
+        "  {:<28} {:<16} {:>12} {:>12} {:>12} {:>12}",
+        "graph", "algorithm", "allocs", "frees", "alloc MiB", "peak MiB"
+    );
+    for (_, name, _, _, sweeps) in &report {
+        for (algo, _, a) in sweeps {
+            eprintln!(
+                "  {:<28} {:<16} {:>12} {:>12} {:>12.2} {:>12.2}",
+                name,
+                algo.to_string(),
+                a.allocs,
+                a.frees,
+                a.allocated_bytes as f64 / (1 << 20) as f64,
+                a.peak_bytes as f64 / (1 << 20) as f64
+            );
+        }
+    }
+
     if let Some(trace_path) = trace_path {
-        finish_trace(&trace_path);
+        finish_trace(&trace_path, false);
     }
     if !json {
         return;
     }
-    // Snapshot the pool counters after every sweep has run: the totals
-    // describe the work the benchmark itself induced.
+    // Host and pool blocks are captured only now, AFTER every sweep: the
+    // pool lazily starts on first parallel use, so sampling its width
+    // up front would record the pre-warm-up default (width 1 / 0 threads).
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let pool_width = msf_pool::width();
+    let sequential = msf_pool::sequential_env();
     let pool = msf_pool::pool_stats();
+    let metrics = obs::metrics::snapshot();
+    let mem = obs::alloc::stats();
     // Hand-rolled JSON (no serde in the offline image). Every emitted string
     // is generated here and contains no characters needing escapes.
     let mut doc = String::new();
     doc.push_str("{\n");
     doc.push_str("  \"suite\": \"msf-bench\",\n");
+    doc.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        msf_bench::regress::SCHEMA_VERSION
+    ));
     doc.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
     doc.push_str(&format!("  \"n\": {},\n", scale.n()));
     doc.push_str(&format!("  \"seed\": {seed},\n"));
+    doc.push_str(&format!("  \"repeats\": {repeats},\n"));
     doc.push_str("  \"host\": {\n");
     doc.push_str(&format!("    \"available_parallelism\": {cores},\n"));
     doc.push_str(&format!("    \"pool_width\": {pool_width},\n"));
@@ -557,6 +635,22 @@ fn bench(args: &[String]) {
     ));
     doc.push_str(&format!("    \"team_leases\": {}\n", pool.team_leases));
     doc.push_str("  },\n");
+    push_metrics_json(&mut doc, &metrics);
+    doc.push_str("  \"memory\": {\n");
+    doc.push_str(&format!("    \"allocs\": {},\n", mem.allocs));
+    doc.push_str(&format!("    \"frees\": {},\n", mem.frees));
+    doc.push_str(&format!(
+        "    \"allocated_bytes\": {},\n",
+        mem.allocated_bytes
+    ));
+    doc.push_str(&format!("    \"freed_bytes\": {},\n", mem.freed_bytes));
+    doc.push_str(&format!("    \"live_bytes\": {},\n", mem.live_bytes));
+    doc.push_str(&format!("    \"peak_bytes\": {},\n", mem.peak_bytes));
+    doc.push_str(&format!(
+        "    \"peak_rss_kb\": {}\n",
+        obs::alloc::peak_rss_kb()
+    ));
+    doc.push_str("  },\n");
     doc.push_str("  \"graphs\": [\n");
     for (gi, (family, name, vertices, edges, sweeps)) in report.iter().enumerate() {
         doc.push_str("    {\n");
@@ -565,18 +659,26 @@ fn bench(args: &[String]) {
         doc.push_str(&format!("      \"vertices\": {vertices},\n"));
         doc.push_str(&format!("      \"edges\": {edges},\n"));
         doc.push_str("      \"algorithms\": [\n");
-        for (ai, (algo, sweep)) in sweeps.iter().enumerate() {
+        for (ai, (algo, sweep, alloc)) in sweeps.iter().enumerate() {
+            let deterministic = *algo != Algorithm::MstBc;
             doc.push_str("        {\n");
             doc.push_str(&format!("          \"algorithm\": \"{algo}\",\n"));
+            doc.push_str(&format!(
+                "          \"alloc\": {{\"allocs\": {}, \"frees\": {}, \"allocated_bytes\": {}, \
+                 \"peak_bytes\": {}}},\n",
+                alloc.allocs, alloc.frees, alloc.allocated_bytes, alloc.peak_bytes
+            ));
             doc.push_str("          \"runs\": [\n");
             for (ri, (m, est)) in sweep.iter().enumerate() {
                 doc.push_str(&format!(
                     "            {{\"p\": {}, \"wall_seconds\": {:.6}, \"est_seconds\": {:.6}, \
-                     \"modeled_cost\": {}, \"forest_edges\": {}, \"total_weight\": {:.6}}}{}\n",
+                     \"modeled_cost\": {}, \"modeled_deterministic\": {}, \"forest_edges\": {}, \
+                     \"total_weight\": {:.6}}}{}\n",
                     m.threads,
                     m.wall_seconds,
                     est,
                     m.modeled_cost,
+                    deterministic,
                     m.result.edges.len(),
                     m.result.total_weight,
                     if ri + 1 < sweep.len() { "," } else { "" }
@@ -602,6 +704,123 @@ fn bench(args: &[String]) {
             eprintln!("bench report written to {path}");
         }
         None => print!("{doc}"),
+    }
+}
+
+/// Append the `"metrics"` block: every counter, gauge, and histogram in the
+/// registry, histograms summarized as count/sum/max/mean and the three
+/// standard percentiles.
+fn push_metrics_json(doc: &mut String, metrics: &obs::metrics::MetricsSnapshot) {
+    doc.push_str("  \"metrics\": {\n");
+    doc.push_str("    \"counters\": {");
+    for (i, (name, value)) in metrics.counters.iter().enumerate() {
+        doc.push_str(&format!(
+            "{}\"{name}\": {value}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    doc.push_str("},\n");
+    doc.push_str("    \"gauges\": {");
+    for (i, (name, value, peak)) in metrics.gauges.iter().enumerate() {
+        doc.push_str(&format!(
+            "{}\"{name}\": {{\"value\": {value}, \"peak\": {peak}}}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    doc.push_str("},\n");
+    doc.push_str("    \"histograms\": {\n");
+    for (i, h) in metrics.histograms.iter().enumerate() {
+        let mean = if h.count > 0 { h.mean() } else { 0.0 };
+        doc.push_str(&format!(
+            "      \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.1}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}}}{}\n",
+            h.name,
+            h.count,
+            h.sum,
+            h.max,
+            mean,
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            if i + 1 < metrics.histograms.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    doc.push_str("    }\n");
+    doc.push_str("  },\n");
+}
+
+fn regress_cmd(args: &[String]) {
+    let mut baseline: Option<String> = None;
+    let mut candidate: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut cfg = msf_bench::regress::RegressConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--candidate" => {
+                i += 1;
+                candidate = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threshold" => {
+                i += 1;
+                cfg.threshold_pct = args
+                    .get(i)
+                    .and_then(|s| s.trim_end_matches('%').parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--min-wall" => {
+                i += 1;
+                cfg.min_wall_seconds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (baseline, candidate) = match (baseline, candidate) {
+        (Some(b), Some(c)) => (b, c),
+        _ => usage(),
+    };
+    let read = |path: &str| -> msf_bench::json::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        msf_bench::json::Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base_doc = read(&baseline);
+    let cand_doc = read(&candidate);
+    let report = msf_bench::regress::compare(&base_doc, &cand_doc, &cfg).unwrap_or_else(|e| {
+        eprintln!("regress: {e}");
+        std::process::exit(2);
+    });
+    let md = report.markdown(&cfg);
+    print!("{md}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &md).expect("write regress report");
+        eprintln!("regress report written to {path}");
+    }
+    if report.regressions() > 0 {
+        std::process::exit(1);
     }
 }
 

@@ -14,6 +14,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod regress;
+
 use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig, MsfResult};
 use msf_graph::generators::{
     geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured, GeneratorConfig,
@@ -86,11 +89,33 @@ pub fn run(g: &EdgeList, algorithm: Algorithm, p: usize) -> Measurement {
     }
 }
 
+/// Run `algorithm` `repeats` times at `p` and keep the run with the
+/// **minimum wall time** (min-of-k: the robust "how fast can it go"
+/// estimator the regression harness compares).
+pub fn run_min_of(g: &EdgeList, algorithm: Algorithm, p: usize, repeats: usize) -> Measurement {
+    let mut best = run(g, algorithm, p);
+    for _ in 1..repeats.max(1) {
+        let m = run(g, algorithm, p);
+        if m.wall_seconds < best.wall_seconds {
+            best = m;
+        }
+    }
+    best
+}
+
 /// Sweep one algorithm over [`PROC_SWEEP`] and convert modeled costs into
 /// estimated seconds anchored at the measured 1-thread wall time:
 /// `est(p) = wall(1) · modeled(p) / modeled(1)`.
 pub fn sweep(g: &EdgeList, algorithm: Algorithm) -> Vec<(Measurement, f64)> {
-    let runs: Vec<Measurement> = PROC_SWEEP.iter().map(|&p| run(g, algorithm, p)).collect();
+    sweep_min_of(g, algorithm, 1)
+}
+
+/// [`sweep`] with min-of-`repeats` wall times per processor count.
+pub fn sweep_min_of(g: &EdgeList, algorithm: Algorithm, repeats: usize) -> Vec<(Measurement, f64)> {
+    let runs: Vec<Measurement> = PROC_SWEEP
+        .iter()
+        .map(|&p| run_min_of(g, algorithm, p, repeats))
+        .collect();
     let wall1 = runs[0].wall_seconds;
     let model1 = runs[0].modeled_cost.max(1) as f64;
     runs.into_iter()

@@ -12,11 +12,17 @@
 //!
 //! **Bor-ALM** is the same algorithm under a different allocation policy:
 //! instead of one fresh heap allocation per supervertex list per iteration,
-//! each worker appends lists into a retained per-worker arena buffer — the
-//! paper's per-thread memory segments that sidestep the shared `malloc`
-//! lock on Solaris.
+//! each worker bump-allocates its lists from a retained per-worker
+//! [`Arena`] — the paper's per-thread memory segments that sidestep the
+//! shared `malloc` lock on Solaris. The arenas double-buffer across
+//! iterations (compact reads generation i while writing generation i+1
+//! into the spare set), so after the first couple of iterations warm the
+//! capacity, the steady state performs **zero** system allocations per
+//! iteration — which is exactly what the allocation-stats table printed by
+//! `msf bench` demonstrates.
 
 use msf_graph::{EdgeKey, EdgeList, OrderedWeight};
+use msf_primitives::arena::Arena;
 use msf_primitives::cost::{Stopwatch, WorkMeter};
 use msf_primitives::obs;
 use msf_primitives::sort::two_level_sort_by;
@@ -36,7 +42,8 @@ pub enum AllocPolicy {
 }
 
 /// One adjacency entry: target vertex, weight, original edge id.
-#[derive(Debug, Clone, Copy)]
+/// (`Default` is required by the arena's zero-fill contract.)
+#[derive(Debug, Clone, Copy, Default)]
 struct AdjEntry {
     t: u32,
     w: f64,
@@ -59,13 +66,42 @@ impl AdjEntry {
     }
 }
 
+/// One worker's retained Bor-ALM memory: its bump arena plus the scratch
+/// buffers compact-graph reuses every iteration. Everything here keeps its
+/// capacity across iterations (the arena via [`Arena::reset`], the `Vec`s
+/// via `clear`), which is where Bor-ALM's zero-steady-state-allocation
+/// behavior comes from.
+#[derive(Debug, Default)]
+struct ArenaWorker {
+    arena: Arena<AdjEntry>,
+    /// Relabeled, per-member-sorted entries for the supervertex in flight.
+    scratch: Vec<AdjEntry>,
+    /// Segment boundaries into `scratch`, one member list per segment.
+    seg_bounds: Vec<usize>,
+    /// K-way-merge output staging, copied into the arena per list.
+    merge_buf: Vec<AdjEntry>,
+    /// Retained k-way-merge heap and cursors.
+    merge: MergeScratch,
+}
+
+/// Reusable state for one k-way merge, retained across supervertices so the
+/// merge itself performs no heap allocation in steady state.
+#[derive(Debug, Default)]
+struct MergeScratch {
+    heads: std::collections::BinaryHeap<MergeHead>,
+    cursor: Vec<usize>,
+}
+
+/// One segment's frontier entry in the merge heap (min-heap via `Reverse`).
+type MergeHead = std::cmp::Reverse<((u32, OrderedWeight, u32), usize)>;
+
 /// Adjacency lists under either allocation policy.
 enum Lists {
     Heap(Vec<Vec<AdjEntry>>),
-    /// `index[v] = (worker, start, len)` into `storage[worker]`.
+    /// `index[v] = (worker, start, len)` into `storage[worker].arena`.
     Arena {
         index: Vec<(u32, u32, u32)>,
-        storage: Vec<Vec<AdjEntry>>,
+        storage: Vec<ArenaWorker>,
     },
 }
 
@@ -76,7 +112,7 @@ impl Lists {
             Lists::Heap(lists) => &lists[v],
             Lists::Arena { index, storage } => {
                 let (b, s, l) = index[v];
-                &storage[b as usize][s as usize..(s + l) as usize]
+                storage[b as usize].arena.range(s as usize, l as usize)
             }
         }
     }
@@ -102,17 +138,64 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig, policy: AllocPolicy) -> MsfResult {
     let mut n = g.num_vertices();
     let mut out: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
 
-    // Initial lists straight from the input.
+    // Bor-ALM double buffer: compact reads the front generation (inside
+    // `lists`) while writing the next one into these spare workers; after
+    // the swap the displaced generation's arenas come back here, capacity
+    // intact, for the iteration after.
+    let mut spare: Vec<ArenaWorker> = match policy {
+        AllocPolicy::ThreadArena => (0..p).map(|_| ArenaWorker::default()).collect(),
+        AllocPolicy::SystemHeap => Vec::new(),
+    };
+
+    // Initial lists straight from the input. Bor-AL pays one heap `Vec` per
+    // vertex here (as it will again every iteration); Bor-ALM bump-allocates
+    // the whole generation from its per-thread arenas from the start.
     let csr = msf_graph::AdjacencyArray::from_edge_list(g);
-    let mut lists = Lists::Heap(
-        (0..n as u32)
-            .map(|v| {
-                csr.neighbors(v)
-                    .map(|(t, w, id)| AdjEntry { t, w, id })
-                    .collect()
-            })
-            .collect(),
-    );
+    let mut lists = match policy {
+        AllocPolicy::SystemHeap => Lists::Heap(
+            (0..n as u32)
+                .map(|v| {
+                    csr.neighbors(v)
+                        .map(|(t, w, id)| AdjEntry { t, w, id })
+                        .collect()
+                })
+                .collect(),
+        ),
+        AllocPolicy::ThreadArena => {
+            let mut workers = std::mem::take(&mut spare);
+            let spans_per_worker: Vec<Vec<(u32, u32)>> = workers
+                .par_iter_mut()
+                .enumerate()
+                .map(|(t, w)| {
+                    let r = msf_primitives::block_range(n, p, t);
+                    w.arena.reset();
+                    let mut spans = Vec::with_capacity(r.len());
+                    for v in r {
+                        w.merge_buf.clear();
+                        w.merge_buf
+                            .extend(csr.neighbors(v as u32).map(|(t2, w2, id)| AdjEntry {
+                                t: t2,
+                                w: w2,
+                                id,
+                            }));
+                        let av = w.arena.alloc_from(&w.merge_buf);
+                        spans.push((av.start() as u32, av.len() as u32));
+                    }
+                    spans
+                })
+                .collect();
+            let mut index = Vec::with_capacity(n);
+            for (t, spans) in spans_per_worker.into_iter().enumerate() {
+                for (s0, l) in spans {
+                    index.push((t as u32, s0, l));
+                }
+            }
+            Lists::Arena {
+                index,
+                storage: workers,
+            }
+        }
+    };
     drop(csr);
 
     loop {
@@ -147,7 +230,20 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig, policy: AllocPolicy) -> MsfResult {
         // Step 3: compact-graph — the two-level sort + k-way merge.
         let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
         let mut cg_meters = vec![WorkMeter::new(); p];
-        lists = compact(&lists, &labels, k as usize, p, policy, &mut cg_meters);
+        let next = compact(
+            &lists,
+            &labels,
+            k as usize,
+            p,
+            policy,
+            &mut spare,
+            &mut cg_meters,
+        );
+        let old = std::mem::replace(&mut lists, next);
+        if let Lists::Arena { storage, .. } = old {
+            // Recycle the displaced generation's arenas and scratch buffers.
+            spare = storage;
+        }
         n = k as usize;
         it.compact = step.finish(&cg_meters, PHASE_OVERHEAD);
 
@@ -196,13 +292,47 @@ fn find_min(lists: &Lists, n: usize, p: usize, meters: &mut [WorkMeter]) -> (Vec
     (to, chosen)
 }
 
-/// The two-level compact-graph step.
+/// Relabel, per-member-sort, and segment one supervertex's member lists
+/// into `scratch`/`seg_bounds` (cleared first). Shared by both policies.
+fn build_segments(
+    lists: &Lists,
+    labels: &[u32],
+    members: &[u32],
+    s: u32,
+    scratch: &mut Vec<AdjEntry>,
+    seg_bounds: &mut Vec<usize>,
+    meter: &mut WorkMeter,
+) {
+    scratch.clear();
+    seg_bounds.clear();
+    seg_bounds.push(0);
+    for &v in members {
+        let start = scratch.len();
+        for e in lists.list(v as usize) {
+            meter.mem(1); // label lookup
+            let tl = labels[e.t as usize];
+            if tl != s {
+                scratch.push(AdjEntry { t: tl, ..*e });
+            }
+        }
+        let seg = &mut scratch[start..];
+        let len = seg.len() as u64;
+        meter.ops(len * (64 - len.max(2).leading_zeros()) as u64);
+        two_level_sort_by(seg, |a, b| a.group_key() < b.group_key());
+        seg_bounds.push(scratch.len());
+    }
+}
+
+/// The two-level compact-graph step. For `ThreadArena`, the next generation
+/// is written into `spare` (drained by this call; the caller recycles the
+/// displaced generation back into it after swapping).
 fn compact(
     lists: &Lists,
     labels: &[u32],
     k: usize,
     p: usize,
     policy: AllocPolicy,
+    spare: &mut Vec<ArenaWorker>,
     meters: &mut [WorkMeter],
 ) -> Lists {
     // "Sort the vertex array according to the supervertex label" — the
@@ -213,44 +343,42 @@ fn compact(
         m.ops((labels.len() / p.max(1)) as u64 + 1);
     }
 
-    // Each worker builds the lists for its block of new supervertices.
-    let parts: Vec<(Vec<Vec<AdjEntry>>, WorkMeter)> = (0..p)
-        .into_par_iter()
-        .map(|t| {
-            let r = msf_primitives::block_range(k, p, t);
-            let mut meter = WorkMeter::new();
-            let mut built: Vec<Vec<AdjEntry>> = Vec::with_capacity(r.len());
-            // Scratch for the relabeled, per-member-sorted entries.
-            let mut scratch: Vec<AdjEntry> = Vec::new();
-            let mut seg_bounds: Vec<usize> = Vec::new();
-            for s in r {
-                scratch.clear();
-                seg_bounds.clear();
-                seg_bounds.push(0);
-                for &v in &order[starts[s]..starts[s + 1]] {
-                    let start = scratch.len();
-                    for e in lists.list(v as usize) {
-                        meter.mem(1); // label lookup
-                        let tl = labels[e.t as usize];
-                        if tl != s as u32 {
-                            scratch.push(AdjEntry { t: tl, ..*e });
-                        }
-                    }
-                    let seg = &mut scratch[start..];
-                    let len = seg.len() as u64;
-                    meter.ops(len * (64 - len.max(2).leading_zeros()) as u64);
-                    two_level_sort_by(seg, |a, b| a.group_key() < b.group_key());
-                    seg_bounds.push(scratch.len());
-                }
-                built.push(merge_segments(&scratch, &seg_bounds, &mut meter));
-            }
-            (built, meter)
-        })
-        .collect();
-
-    // Stitch per-worker outputs into the chosen representation.
     match policy {
+        // Bor-AL: each worker heap-allocates one fresh Vec per supervertex
+        // list, every iteration — the allocator-contention baseline.
         AllocPolicy::SystemHeap => {
+            let parts: Vec<(Vec<Vec<AdjEntry>>, WorkMeter)> = (0..p)
+                .into_par_iter()
+                .map(|t| {
+                    let r = msf_primitives::block_range(k, p, t);
+                    let mut meter = WorkMeter::new();
+                    let mut built: Vec<Vec<AdjEntry>> = Vec::with_capacity(r.len());
+                    let mut scratch: Vec<AdjEntry> = Vec::new();
+                    let mut seg_bounds: Vec<usize> = Vec::new();
+                    let mut merge = MergeScratch::default();
+                    for s in r {
+                        build_segments(
+                            lists,
+                            labels,
+                            &order[starts[s]..starts[s + 1]],
+                            s as u32,
+                            &mut scratch,
+                            &mut seg_bounds,
+                            &mut meter,
+                        );
+                        let mut list = Vec::with_capacity(scratch.len());
+                        merge_segments_into(
+                            &scratch,
+                            &seg_bounds,
+                            &mut merge,
+                            &mut list,
+                            &mut meter,
+                        );
+                        built.push(list);
+                    }
+                    (built, meter)
+                })
+                .collect();
             let mut lists: Vec<Vec<AdjEntry>> = Vec::with_capacity(k);
             for (t, (built, m)) in parts.into_iter().enumerate() {
                 meters[t] = meters[t] + m;
@@ -258,30 +386,75 @@ fn compact(
             }
             Lists::Heap(lists)
         }
+        // Bor-ALM: each worker bump-allocates its block's lists from its
+        // retained arena; only capacity warm-up ever hits the system heap.
         AllocPolicy::ThreadArena => {
-            let mut index: Vec<(u32, u32, u32)> = Vec::with_capacity(k);
-            let mut storage: Vec<Vec<AdjEntry>> = Vec::with_capacity(parts.len());
-            for (t, (built, m)) in parts.into_iter().enumerate() {
-                meters[t] = meters[t] + m;
-                let mut flat: Vec<AdjEntry> = Vec::with_capacity(built.iter().map(Vec::len).sum());
-                for list in built {
-                    let start = flat.len() as u32;
-                    flat.extend_from_slice(&list);
-                    index.push((t as u32, start, list.len() as u32));
-                }
-                storage.push(flat);
+            let mut workers = std::mem::take(spare);
+            if workers.len() < p {
+                workers.resize_with(p, ArenaWorker::default);
             }
-            Lists::Arena { index, storage }
+            let parts: Vec<(Vec<(u32, u32)>, WorkMeter)> = workers
+                .par_iter_mut()
+                .enumerate()
+                .map(|(t, w)| {
+                    let r = msf_primitives::block_range(k, p, t);
+                    let mut meter = WorkMeter::new();
+                    w.arena.reset();
+                    let mut spans: Vec<(u32, u32)> = Vec::with_capacity(r.len());
+                    for s in r {
+                        let (scratch, seg_bounds) = (&mut w.scratch, &mut w.seg_bounds);
+                        build_segments(
+                            lists,
+                            labels,
+                            &order[starts[s]..starts[s + 1]],
+                            s as u32,
+                            scratch,
+                            seg_bounds,
+                            &mut meter,
+                        );
+                        w.merge_buf.clear();
+                        merge_segments_into(
+                            &w.scratch,
+                            &w.seg_bounds,
+                            &mut w.merge,
+                            &mut w.merge_buf,
+                            &mut meter,
+                        );
+                        let av = w.arena.alloc_from(&w.merge_buf);
+                        spans.push((av.start() as u32, av.len() as u32));
+                    }
+                    (spans, meter)
+                })
+                .collect();
+            let mut index: Vec<(u32, u32, u32)> = Vec::with_capacity(k);
+            for (t, (spans, m)) in parts.into_iter().enumerate() {
+                meters[t] = meters[t] + m;
+                for (start, len) in spans {
+                    index.push((t as u32, start, len));
+                }
+            }
+            Lists::Arena {
+                index,
+                storage: workers,
+            }
         }
     }
 }
 
-/// K-way merge of per-member sorted segments, keeping the minimum entry per
-/// target ("the set of vertices with the same supervertex label … can be
-/// merged efficiently").
-fn merge_segments(scratch: &[AdjEntry], bounds: &[usize], meter: &mut WorkMeter) -> Vec<AdjEntry> {
+/// K-way merge of per-member sorted segments into `outlist`, keeping the
+/// minimum entry per target ("the set of vertices with the same supervertex
+/// label … can be merged efficiently"). The caller owns `outlist` and the
+/// merge scratch, so Bor-ALM stages into retained buffers and the merge is
+/// allocation-free in steady state.
+fn merge_segments_into(
+    scratch: &[AdjEntry],
+    bounds: &[usize],
+    ms: &mut MergeScratch,
+    outlist: &mut Vec<AdjEntry>,
+    meter: &mut WorkMeter,
+) {
     let segs = bounds.len() - 1;
-    let mut outlist: Vec<AdjEntry> = Vec::with_capacity(scratch.len());
+    outlist.reserve(scratch.len());
     if segs == 1 {
         // Single member: already sorted; dedup by target in one pass.
         for e in scratch {
@@ -290,26 +463,28 @@ fn merge_segments(scratch: &[AdjEntry], bounds: &[usize], meter: &mut WorkMeter)
             }
         }
         meter.ops(scratch.len() as u64);
-        return outlist;
+        return;
     }
-    type Head = std::cmp::Reverse<((u32, OrderedWeight, u32), usize)>;
-    let mut heads: std::collections::BinaryHeap<Head> = (0..segs)
-        .filter(|&i| bounds[i] < bounds[i + 1])
-        .map(|i| std::cmp::Reverse((scratch[bounds[i]].group_key(), i)))
-        .collect();
-    let mut cursor: Vec<usize> = bounds[..segs].to_vec();
-    while let Some(std::cmp::Reverse((_, i))) = heads.pop() {
-        let e = scratch[cursor[i]];
+    ms.heads.clear();
+    ms.heads.extend(
+        (0..segs)
+            .filter(|&i| bounds[i] < bounds[i + 1])
+            .map(|i| std::cmp::Reverse((scratch[bounds[i]].group_key(), i))),
+    );
+    ms.cursor.clear();
+    ms.cursor.extend_from_slice(&bounds[..segs]);
+    while let Some(std::cmp::Reverse((_, i))) = ms.heads.pop() {
+        let e = scratch[ms.cursor[i]];
         meter.ops(2);
         if outlist.last().is_none_or(|l| l.t != e.t) {
             outlist.push(e);
         }
-        cursor[i] += 1;
-        if cursor[i] < bounds[i + 1] {
-            heads.push(std::cmp::Reverse((scratch[cursor[i]].group_key(), i)));
+        ms.cursor[i] += 1;
+        if ms.cursor[i] < bounds[i + 1] {
+            ms.heads
+                .push(std::cmp::Reverse((scratch[ms.cursor[i]].group_key(), i)));
         }
     }
-    outlist
 }
 
 #[cfg(test)]

@@ -70,6 +70,41 @@ impl StepKind {
             StepKind::BaseCase => obs::SpanKind::BaseCase,
         }
     }
+
+    /// The metrics-registry wall-time histogram for this step kind. Every
+    /// parallel variant funnels through [`StepSpan`], so these five statics
+    /// cover all six algorithms without per-algorithm plumbing.
+    fn wall_hist(self) -> &'static obs::metrics::LazyHistogram {
+        use obs::metrics::LazyHistogram;
+        static SETUP: LazyHistogram = LazyHistogram::new("phase.setup.wall_ns");
+        static FIND_MIN: LazyHistogram = LazyHistogram::new("phase.find-min.wall_ns");
+        static CONNECT: LazyHistogram = LazyHistogram::new("phase.connect.wall_ns");
+        static COMPACT: LazyHistogram = LazyHistogram::new("phase.compact.wall_ns");
+        static BASE_CASE: LazyHistogram = LazyHistogram::new("phase.base-case.wall_ns");
+        match self {
+            StepKind::Setup => &SETUP,
+            StepKind::FindMin => &FIND_MIN,
+            StepKind::Connect => &CONNECT,
+            StepKind::Compact => &COMPACT,
+            StepKind::BaseCase => &BASE_CASE,
+        }
+    }
+}
+
+/// Test-only wall-clock fault injection: `MSF_TEST_SLOW_PHASE_NS=<ns>`
+/// sleeps that long inside every find-min step before its wall time is
+/// read, slowing the measured wall clock without touching the modeled
+/// cost. This is the lever CI uses to prove `msf regress` flags a genuine
+/// slowdown; it must never be set outside tests.
+fn test_slow_phase_ns() -> u64 {
+    use std::sync::OnceLock;
+    static SLOW_NS: OnceLock<u64> = OnceLock::new();
+    *SLOW_NS.get_or_init(|| {
+        std::env::var("MSF_TEST_SLOW_PHASE_NS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    })
 }
 
 /// The single source for a step's wall time, modeled cost, and trace span.
@@ -83,6 +118,7 @@ impl StepKind {
 /// *exactly*, not within a tolerance.
 #[derive(Debug)]
 pub struct StepSpan {
+    kind: StepKind,
     watch: Stopwatch,
     span: obs::SpanGuard,
 }
@@ -92,6 +128,7 @@ impl StepSpan {
     /// whole-run steps like setup).
     pub fn begin(kind: StepKind, iteration: usize) -> StepSpan {
         StepSpan {
+            kind,
             span: obs::span(kind.span_kind(), iteration as u64, 0),
             watch: Stopwatch::start(),
         }
@@ -103,6 +140,12 @@ impl StepSpan {
     /// path (`modeled_max`) once and to `modeled_total` once per block, so
     /// `modeled_total >= modeled_max` stays invariant.
     pub fn finish(self, meters: &[WorkMeter], phase_overhead: u64) -> StepStats {
+        if self.kind == StepKind::FindMin {
+            let slow_ns = test_slow_phase_ns();
+            if slow_ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(slow_ns));
+            }
+        }
         let seconds = self.watch.seconds();
         let stats = StepStats {
             seconds,
@@ -110,6 +153,7 @@ impl StepSpan {
             modeled_total: msf_primitives::cost::total_work(meters)
                 + phase_overhead * meters.len().max(1) as u64,
         };
+        self.kind.wall_hist().record(event_ns(seconds));
         self.span.end_with(stats.modeled_max, event_ns(seconds));
         stats
     }
@@ -198,8 +242,19 @@ impl RunStats {
         }
     }
 
-    /// Append an iteration and fold its modeled cost into the total.
+    /// Append an iteration and fold its modeled cost into the total. Also
+    /// records the supervertex shrink ratio versus the previous iteration
+    /// (per-mille of vertices surviving, so a halving records 500) into the
+    /// `boruvka.shrink_permille` histogram — the observable behind the
+    /// paper's geometric-decay argument.
     pub fn push_iteration(&mut self, it: IterationStats) {
+        use obs::metrics::LazyHistogram;
+        static SHRINK: LazyHistogram = LazyHistogram::new("boruvka.shrink_permille");
+        if let Some(prev) = self.iterations.last() {
+            if prev.vertices > 0 {
+                SHRINK.record((it.vertices as u64 * 1000) / prev.vertices as u64);
+            }
+        }
         self.modeled_cost +=
             it.find_min.modeled_max + it.connect.modeled_max + it.compact.modeled_max;
         self.iterations.push(it);

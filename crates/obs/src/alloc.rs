@@ -1,0 +1,273 @@
+//! Process-wide allocation accounting: a [`GlobalAlloc`] wrapper around the
+//! system allocator that counts allocs, frees, and live/peak heap bytes.
+//!
+//! This is the measurement backing the paper's malloc-contention story: the
+//! Bor-AL vs Bor-ALM comparison is only reproducible if "how many heap
+//! allocations did this run make" is a number the harness can print. The
+//! binary opts in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: msf_obs::alloc::CountingAllocator = msf_obs::alloc::CountingAllocator;
+//! ```
+//!
+//! and the counters stay dormant (one relaxed load and a branch per
+//! allocation) unless `MSF_ALLOC_STATS` is set or [`set_enabled`] is called.
+//!
+//! Gate subtlety: the first allocation resolves the gate from the
+//! environment, but `std::env::var` itself allocates. The resolver therefore
+//! stores OFF *before* probing the environment, so the nested allocations it
+//! triggers observe a decided (OFF) gate and pass straight through instead
+//! of recursing; the final state is stored afterwards.
+//!
+//! Counting uses plain relaxed `fetch_add`s plus one `fetch_max` for the
+//! peak. (The metrics registry forbids `fetch_max` on its record path; here
+//! the whole facility is opt-in diagnostics on allocation-grade events, not
+//! a per-element hot loop, so the CAS loop it lowers to is acceptable.)
+
+// `GlobalAlloc` is an unsafe trait: the implementation below only delegates
+// to `System` and adds atomic bookkeeping, upholding System's contract.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+const STATE_UNKNOWN: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Live heap bytes (allocated − freed), updated on every counted call.
+static LIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`LIVE`] since process start or the last
+/// [`reset_peak`].
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn counting() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    // Decide OFF first: the env probe below allocates, and those nested
+    // calls must see a resolved gate or they would recurse back here.
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+    let on = std::env::var("MSF_ALLOC_STATS")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "TRUE" | "ON"))
+        .unwrap_or(false);
+    if on {
+        STATE.store(STATE_ON, Ordering::Relaxed);
+    }
+    on
+}
+
+/// Turn allocation counting on or off for the whole process (overriding
+/// `MSF_ALLOC_STATS`). Counting only has effect in binaries that installed
+/// [`CountingAllocator`] as the global allocator.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+#[inline]
+fn note_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOCATED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn note_free(size: usize) {
+    FREES.fetch_add(1, Ordering::Relaxed);
+    FREED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    LIVE.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+/// The counting wrapper around [`System`]. Install with
+/// `#[global_allocator]` in a binary crate; library crates must never
+/// install it (one global allocator per program).
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() && counting() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if counting() {
+            note_free(layout.size());
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() && counting() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() && counting() {
+            // A realloc retires the old block and creates the new one.
+            note_free(layout.size());
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// A snapshot of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Heap allocations counted (while enabled).
+    pub allocs: u64,
+    /// Heap frees counted.
+    pub frees: u64,
+    /// Total bytes allocated.
+    pub allocated_bytes: u64,
+    /// Total bytes freed.
+    pub freed_bytes: u64,
+    /// Live heap bytes at snapshot time.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes since start / last [`reset_peak`].
+    pub peak_bytes: u64,
+}
+
+impl AllocStats {
+    /// Componentwise difference versus an earlier snapshot (for bracketing
+    /// one run). `live`/`peak` are reported as-is from `self`, not
+    /// differenced — a delta of water marks is meaningless.
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            frees: self.frees.wrapping_sub(earlier.frees),
+            allocated_bytes: self.allocated_bytes.wrapping_sub(earlier.allocated_bytes),
+            freed_bytes: self.freed_bytes.wrapping_sub(earlier.freed_bytes),
+            live_bytes: self.live_bytes,
+            peak_bytes: self.peak_bytes,
+        }
+    }
+}
+
+/// Read the current counters.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        frees: FREES.load(Ordering::Relaxed),
+        allocated_bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+        freed_bytes: FREED_BYTES.load(Ordering::Relaxed),
+        live_bytes: LIVE.load(Ordering::Relaxed),
+        peak_bytes: PEAK.load(Ordering::Relaxed),
+    }
+}
+
+/// Rebase the peak to the current live size, so the next measurement
+/// window reports its own high-water mark rather than the process's.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak resident set size of this process in kilobytes, from the kernel's
+/// `VmHWM` accounting. Returns 0 where `/proc` is unavailable. This is the
+/// whole-process OS view (stacks, code, arenas), complementing the
+/// heap-only [`AllocStats::peak_bytes`].
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests only exercise the bookkeeping helpers: the test binary
+    // does not install CountingAllocator, so counters move only when we
+    // drive them directly.
+
+    #[test]
+    fn note_roundtrip_and_peak() {
+        set_enabled(false);
+        let before = stats();
+        note_alloc(1000);
+        note_alloc(500);
+        note_free(1000);
+        let after = stats().since(&before);
+        assert_eq!(after.allocs, 2);
+        assert_eq!(after.frees, 1);
+        assert_eq!(after.allocated_bytes, 1500);
+        assert_eq!(after.freed_bytes, 1000);
+        assert!(stats().peak_bytes >= stats().live_bytes);
+        note_free(500);
+        reset_peak();
+        assert_eq!(stats().peak_bytes, stats().live_bytes);
+    }
+
+    #[test]
+    fn peak_rss_is_plausible() {
+        let kb = peak_rss_kb();
+        // On Linux a running test process has at least ~1 MB resident.
+        #[cfg(target_os = "linux")]
+        assert!(kb > 1024, "VmHWM {kb} kB");
+        #[cfg(not(target_os = "linux"))]
+        assert_eq!(kb, 0);
+    }
+
+    #[test]
+    fn since_is_componentwise_for_flows() {
+        let a = AllocStats {
+            allocs: 10,
+            frees: 4,
+            allocated_bytes: 100,
+            freed_bytes: 40,
+            live_bytes: 60,
+            peak_bytes: 80,
+        };
+        let b = AllocStats {
+            allocs: 25,
+            frees: 20,
+            allocated_bytes: 300,
+            freed_bytes: 250,
+            live_bytes: 50,
+            peak_bytes: 90,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.allocs, 15);
+        assert_eq!(d.frees, 16);
+        assert_eq!(d.allocated_bytes, 200);
+        assert_eq!(d.freed_bytes, 210);
+        // Water marks pass through.
+        assert_eq!(d.live_bytes, 50);
+        assert_eq!(d.peak_bytes, 90);
+    }
+}

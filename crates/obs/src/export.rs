@@ -13,6 +13,9 @@ pub struct TraceThread {
     pub tid: u32,
     /// The thread's OS name at registration time.
     pub name: String,
+    /// Events overwritten in this thread's ring before the collector
+    /// reached them, for this drain. `Trace::dropped` is the sum.
+    pub dropped: u64,
 }
 
 /// One decoded event from a drained ring.
@@ -231,6 +234,19 @@ impl Trace {
             self.threads.len(),
             self.dropped
         );
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: ring overflow — {} event(s) overwritten before collection; \
+                 durations and counts below are lower bounds (raise MSF_TRACE_CAP)",
+                self.dropped
+            );
+            for t in &self.threads {
+                if t.dropped > 0 {
+                    let _ = writeln!(out, "  tid {} ({}): {} dropped", t.tid, t.name, t.dropped);
+                }
+            }
+        }
         let _ = writeln!(out, "{:<20} {:>8} {:>14}", "span", "count", "total");
         for (kind, (count, total_ns)) in rows {
             let name = SpanKind::from_u16(kind)
@@ -462,10 +478,12 @@ mod tests {
                 TraceThread {
                     tid: 0,
                     name: "main".into(),
+                    dropped: 0,
                 },
                 TraceThread {
                     tid: 1,
                     name: "msf-team".into(),
+                    dropped: 0,
                 },
             ],
             events,

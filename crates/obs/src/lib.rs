@@ -26,9 +26,14 @@
 //! programmatically. Ring capacity is `MSF_TRACE_CAP` events per thread
 //! (default 16384), frozen once the first ring is allocated.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the single exception is the allocation
+// counter in [`alloc`], which must implement `GlobalAlloc` (an unsafe trait)
+// to wrap the system allocator. That module carries its own scoped allow.
+#![deny(unsafe_code)]
 
+pub mod alloc;
 mod export;
+pub mod metrics;
 mod ring;
 
 pub use export::{validate_json, Trace, TraceEvent, TraceThread};
@@ -437,6 +442,14 @@ mod tests {
             .collect();
         assert_eq!(mine.len(), cap);
         assert!(t.dropped >= 37);
+        // The per-ring attribution sums to the total and names a culprit.
+        let per_ring: u64 = t.threads.iter().map(|th| th.dropped).sum();
+        assert_eq!(per_ring, t.dropped);
+        assert!(t.threads.iter().any(|th| th.dropped >= 37));
+        // The text summary surfaces the overflow loudly.
+        let summary = t.summary();
+        assert!(summary.contains("WARNING: ring overflow"), "{summary}");
+        assert!(summary.contains("dropped"), "{summary}");
         // The survivors are the newest `cap` events, in order.
         assert_eq!(mine.first().unwrap().a, 37);
         assert_eq!(mine.last().unwrap().a, cap as u64 + 36);

@@ -1,0 +1,800 @@
+//! The metrics registry: process-global named counters, gauges, and
+//! log-bucketed histograms with per-worker sharded atomics.
+//!
+//! Where the event rings ([`crate::ring`]) answer *"what happened, in what
+//! order"*, this module answers *"how is it distributed"*: per-phase wall
+//! times, steal latencies, arena footprints, Borůvka shrink ratios. The two
+//! share one design contract:
+//!
+//! - **Disabled path**: one relaxed atomic load and a branch per record
+//!   call ([`enabled`], gated by `MSF_METRICS` / [`set_enabled`]).
+//! - **Enabled record path**: no lock, no CAS loop, and no allocation —
+//!   a shard lookup (cached thread-local index) plus relaxed `fetch_add`s
+//!   on cache-line-padded atomics. Registration (first use of a name) may
+//!   lock and allocate; recording never does.
+//! - **Merge-on-read**: shards are summed only when a [`snapshot`] or value
+//!   query runs, never on the record path.
+//!
+//! Histograms are base-2 log-bucketed with [`HISTOGRAM_BUCKETS`] = 64
+//! buckets: bucket 0 holds the value 0, bucket `i` (1..63) holds values in
+//! `[2^(i-1), 2^i)`, and the top bucket saturates (everything ≥ 2^62).
+//! Quantile queries report the *upper bound* of the bucket containing the
+//! requested rank, clamped to the exact recorded maximum — so `p99 ≤ max`
+//! always holds and the error is bounded by one octave.
+//!
+//! The per-shard `max` cell uses a racy load-compare-store instead of
+//! `fetch_max` to honor the no-CAS contract (x86 lowers `fetch_max` to a
+//! CAS loop). Two same-shard racers can lose an update; each shard is
+//! effectively single-writer in practice (threads are assigned shards
+//! round-robin), and telemetry tolerates the residual race.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of buckets in every histogram (base-2, saturating top bucket).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Number of atomically independent shards per metric. Threads are assigned
+/// shards round-robin at first record; two threads may share a shard, which
+/// costs contention but never correctness (counters are commutative).
+pub const SHARDS: usize = 16;
+
+// ---- enable gate (same tri-state idiom as the event rings) -------------
+
+const STATE_UNKNOWN: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
+
+/// Is metrics recording enabled? Steady state: one relaxed load + branch.
+/// The first call lazily consults `MSF_METRICS` (`1`/`true`/`on`).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Resolve the enable state from `MSF_METRICS` unless [`set_enabled`]
+/// already decided it. Returns the resulting state.
+#[cold]
+pub fn init_from_env() -> bool {
+    if STATE.load(Ordering::Relaxed) == STATE_UNKNOWN {
+        let on = std::env::var("MSF_METRICS")
+            .map(|v| matches!(v.trim(), "1" | "true" | "on" | "TRUE" | "ON"))
+            .unwrap_or(false);
+        set_enabled(on);
+    }
+    STATE.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// Turn metrics recording on or off for the whole process.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+// ---- shard assignment --------------------------------------------------
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's shard index. First call per thread pays one global
+/// `fetch_add`; afterwards it is a thread-local read.
+#[inline]
+fn shard() -> usize {
+    MY_SHARD.with(|cell| {
+        let s = cell.get();
+        if s != usize::MAX {
+            return s;
+        }
+        let s = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        cell.set(s);
+        s
+    })
+}
+
+/// One cache-line-padded relaxed atomic word.
+#[repr(align(128))]
+#[derive(Default)]
+struct Padded(AtomicU64);
+
+/// Racy monotone max update: relaxed load, compare, relaxed store. See the
+/// module docs for why this is not `fetch_max`.
+#[inline]
+fn racy_max(cell: &AtomicU64, v: u64) {
+    if v > cell.load(Ordering::Relaxed) {
+        cell.store(v, Ordering::Relaxed);
+    }
+}
+
+// ---- counters ----------------------------------------------------------
+
+/// A monotone counter, sharded per worker.
+pub struct Counter {
+    name: &'static str,
+    shards: [Padded; SHARDS],
+}
+
+impl Counter {
+    fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            shards: Default::default(),
+        }
+    }
+
+    /// The metric's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n`. Disabled path: one relaxed load and a branch.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.shards[shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Merge-on-read total across shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---- gauges ------------------------------------------------------------
+
+/// A signed up/down gauge, sharded per worker: each shard holds a two's
+/// complement delta and the merged value is the wrapping sum — so `add` on
+/// one thread and `sub` on another cancel without any cross-shard traffic.
+pub struct Gauge {
+    name: &'static str,
+    shards: [Padded; SHARDS],
+    /// Racy high-water mark of the merged value, updated on `add`.
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            shards: Default::default(),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Increase the gauge. Also advances the peak (merged read — a handful
+    /// of relaxed loads; gauges sit on allocation-grade paths, not
+    /// per-element loops).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.shards[shard()].0.fetch_add(n, Ordering::Relaxed);
+        racy_max(&self.peak, self.value().max(0) as u64);
+    }
+
+    /// Decrease the gauge.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.shards[shard()]
+            .0
+            .fetch_add((n as i64).wrapping_neg() as u64, Ordering::Relaxed);
+    }
+
+    /// Merged current value. Can be transiently negative mid-update when a
+    /// sub lands before its matching add is visible.
+    pub fn value(&self) -> i64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add) as i64
+    }
+
+    /// High-water mark of [`Gauge::value`] observed at `add` time.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---- histograms --------------------------------------------------------
+
+/// One shard of a histogram: buckets plus count/sum/max.
+#[repr(align(128))]
+struct HistShard {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> HistShard {
+        HistShard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, else the value's bit length,
+/// saturating at the top bucket. Bucket `i` (0 < i < 63) covers
+/// `[2^(i-1), 2^i)`; bucket 63 covers everything from `2^62` up.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of values in bucket `i` (used as the quantile
+/// report value). The saturating top bucket reports `u64::MAX`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A base-2 log-bucketed histogram, sharded per worker.
+pub struct Histogram {
+    name: &'static str,
+    shards: [HistShard; SHARDS],
+}
+
+impl Histogram {
+    fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            shards: std::array::from_fn(|_| HistShard::default()),
+        }
+    }
+
+    /// The metric's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one sample. Disabled path: one relaxed load and a branch.
+    /// Enabled path: three relaxed `fetch_add`s and a racy max on the
+    /// caller's shard — no lock, CAS loop, or allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        let s = &self.shards[shard()];
+        s.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        racy_max(&s.max, v);
+    }
+
+    /// Merge every shard into an owned snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            name: self.name.to_owned(),
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        for s in &self.shards {
+            out.count += s.count.load(Ordering::Relaxed);
+            // Sums wrap by design (the shard `fetch_add` already does): a
+            // histogram of near-u64::MAX samples must not abort the reader.
+            out.sum = out.sum.wrapping_add(s.sum.load(Ordering::Relaxed));
+            out.max = out.max.max(s.max.load(Ordering::Relaxed));
+            for (b, cell) in out.buckets.iter_mut().zip(&s.buckets) {
+                *b += cell.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.count.store(0, Ordering::Relaxed);
+            s.sum.store(0, Ordering::Relaxed);
+            s.max.store(0, Ordering::Relaxed);
+            for b in &s.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// An owned, merged view of one histogram at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Largest sample recorded (racy: may miss a concurrent same-shard
+    /// update; see module docs).
+    pub max: u64,
+    /// Per-bucket sample counts; see [`bucket_of`] for boundaries.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the `ceil(q·count)`-th smallest sample, clamped to the
+    /// recorded maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper-bound estimate; see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of the samples (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// ---- registry ----------------------------------------------------------
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<Vec<Metric>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn with_registry<R>(f: impl FnOnce(&mut Vec<Metric>) -> R) -> R {
+    f(&mut registry().lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Register (or look up) the counter named `name`. Takes a lock and may
+/// allocate — call once and cache the handle (see [`LazyCounter`]).
+pub fn counter(name: &'static str) -> &'static Counter {
+    with_registry(|metrics| {
+        for m in metrics.iter() {
+            if let Metric::Counter(c) = m {
+                if c.name == name {
+                    return *c;
+                }
+            }
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new(name)));
+        metrics.push(Metric::Counter(c));
+        c
+    })
+}
+
+/// Register (or look up) the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    with_registry(|metrics| {
+        for m in metrics.iter() {
+            if let Metric::Gauge(g) = m {
+                if g.name == name {
+                    return *g;
+                }
+            }
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new(name)));
+        metrics.push(Metric::Gauge(g));
+        g
+    })
+}
+
+/// Register (or look up) the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    with_registry(|metrics| {
+        for m in metrics.iter() {
+            if let Metric::Histogram(h) = m {
+                if h.name == name {
+                    return *h;
+                }
+            }
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new(name)));
+        metrics.push(Metric::Histogram(h));
+        h
+    })
+}
+
+/// A merged view of every registered metric at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for every registered counter, registration order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value, peak)` for every registered gauge.
+    pub gauges: Vec<(String, i64, u64)>,
+    /// Every registered histogram, merged.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge `(value, peak)` by name.
+    pub fn gauge(&self, name: &str) -> Option<(i64, u64)> {
+        self.gauges
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, v, p)| (v, p))
+    }
+
+    /// Look up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Compact text table of every metric with samples, for CLI summaries.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<32} {:>12} {:>12} {:>12} {:>12} {:>14}",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        );
+        for h in &self.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<32} {:>12} {:>12} {:>12} {:>12} {:>14}",
+                h.name,
+                h.count,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max
+            );
+        }
+        for (name, v) in &self.counters {
+            if *v > 0 {
+                let _ = writeln!(out, "{name:<32} {v:>12}");
+            }
+        }
+        for (name, v, peak) in &self.gauges {
+            let _ = writeln!(out, "{name:<32} {v:>12} (peak {peak})");
+        }
+        out
+    }
+}
+
+/// Merge every registered metric into an owned snapshot.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|metrics| {
+        let mut out = MetricsSnapshot::default();
+        for m in metrics.iter() {
+            match m {
+                Metric::Counter(c) => out.counters.push((c.name.to_owned(), c.value())),
+                Metric::Gauge(g) => out.gauges.push((g.name.to_owned(), g.value(), g.peak())),
+                Metric::Histogram(h) => out.histograms.push(h.snapshot()),
+            }
+        }
+        out
+    })
+}
+
+/// Zero every registered metric. Test isolation only: the registry is
+/// process-global, so tests that assert on absolute values must reset
+/// first instead of depending on binary-wide execution order.
+pub fn reset_for_test() {
+    with_registry(|metrics| {
+        for m in metrics.iter() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    })
+}
+
+// ---- lazy call-site handles --------------------------------------------
+
+/// A `static`-friendly counter handle: registration is deferred to the
+/// first enabled record, so instrumented code pays nothing until metrics
+/// are actually on.
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Const-constructible handle for the counter named `name`.
+    pub const fn new(name: &'static str) -> LazyCounter {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Add `n` (registering on first enabled use).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| counter(self.name)).add(n);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// A `static`-friendly gauge handle; see [`LazyCounter`].
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// Const-constructible handle for the gauge named `name`.
+    pub const fn new(name: &'static str) -> LazyGauge {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Increase the gauge (registering on first enabled use).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| gauge(self.name)).add(n);
+    }
+
+    /// Decrease the gauge.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| gauge(self.name)).sub(n);
+    }
+}
+
+/// A `static`-friendly histogram handle; see [`LazyCounter`].
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Const-constructible handle for the histogram named `name`.
+    pub const fn new(name: &'static str) -> LazyHistogram {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Record one sample (registering on first enabled use).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| histogram(self.name)).record(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable flag and registry are process-global; serialize tests that
+    // toggle them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of((1 << 20) - 1), 20);
+        assert_eq!(bucket_of(1 << 20), 21);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(5), 31);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = locked();
+        set_enabled(false);
+        let c = counter("test.disabled.counter");
+        let h = histogram("test.disabled.histogram");
+        c.reset();
+        h.reset();
+        c.add(5);
+        h.record(123);
+        assert_eq!(c.value(), 0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn counter_and_gauge_merge_across_threads() {
+        let _g = locked();
+        set_enabled(true);
+        let c = counter("test.merge.counter");
+        let g = gauge("test.merge.gauge");
+        c.reset();
+        g.reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                        g.add(3);
+                        g.sub(1);
+                    }
+                });
+            }
+        });
+        set_enabled(false);
+        assert_eq!(c.value(), 4000);
+        assert_eq!(g.value(), 8000);
+        assert!(g.peak() >= 2, "peak must have advanced");
+    }
+
+    #[test]
+    fn histogram_quantiles_and_saturation() {
+        let _g = locked();
+        set_enabled(true);
+        let h = histogram("test.quantiles");
+        h.reset();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        set_enabled(false);
+        assert_eq!(s.count, 101);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1, "saturating bucket");
+        let (p50, p90, p99) = (s.p50(), s.p90(), s.p99());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= s.max);
+        // p50 of 1..=100 is ~50 → bucket 6 upper bound 63.
+        assert_eq!(p50, 63);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        // Rank clamps to the 1st sample (value 1, bucket upper bound 1).
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn registry_dedupes_by_name_and_snapshots() {
+        let _g = locked();
+        set_enabled(true);
+        let a = counter("test.dedupe");
+        let b = counter("test.dedupe");
+        assert!(std::ptr::eq(a, b), "same name must yield one metric");
+        a.reset();
+        b.add(2);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counter("test.dedupe"), Some(2));
+        assert!(snap.counter("test.no.such.metric").is_none());
+    }
+
+    #[test]
+    fn reset_for_test_zeroes_everything() {
+        let _g = locked();
+        set_enabled(true);
+        let c = counter("test.reset.counter");
+        let h = histogram("test.reset.histogram");
+        c.add(7);
+        h.record(7);
+        reset_for_test();
+        set_enabled(false);
+        assert_eq!(c.value(), 0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
+        assert!(s.buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn lazy_handles_register_on_first_enabled_use() {
+        let _g = locked();
+        static LAZY: LazyCounter = LazyCounter::new("test.lazy.counter");
+        set_enabled(false);
+        LAZY.add(10); // must not register while disabled
+        set_enabled(true);
+        LAZY.add(4);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counter("test.lazy.counter"), Some(4));
+    }
+}

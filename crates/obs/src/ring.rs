@@ -127,17 +127,19 @@ pub(crate) fn drain_all() -> Trace {
     let mut events = Vec::new();
     let mut dropped = 0u64;
     for ring in rings.iter() {
-        threads.push(TraceThread {
-            tid: ring.tid,
-            name: ring.name.clone(),
-        });
         // Acquire pairs with the owner's release store: every slot at
         // sequence < end is fully written.
         let end = ring.cursor.load(Ordering::Acquire);
         let start = ring.drained.load(Ordering::Relaxed);
         let available = end - start;
         let taken = available.min(ring.capacity);
-        dropped += available - taken;
+        let ring_dropped = available - taken;
+        threads.push(TraceThread {
+            tid: ring.tid,
+            name: ring.name.clone(),
+            dropped: ring_dropped,
+        });
+        dropped += ring_dropped;
         for seq in (end - taken)..end {
             let base = ((seq % ring.capacity) as usize) * WORDS;
             let kind = ring.words[base + 1].load(Ordering::Relaxed) as u32;

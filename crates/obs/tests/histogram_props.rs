@@ -1,0 +1,126 @@
+//! Property tests for the metrics histogram: bucket geometry, shard-merge
+//! equivalence, percentile monotonicity, and top-bucket saturation.
+//!
+//! The registry and its gate are process-global, so every test that records
+//! serializes on one mutex and resets the registry before use.
+
+use std::sync::Mutex;
+
+use msf_obs::metrics::{self, bucket_of, bucket_upper_bound, histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in the unique bucket whose half-open range covers
+    /// it: `upper(bucket-1) < v <= upper(bucket)`.
+    #[test]
+    fn bucket_boundaries_are_exact(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < HISTOGRAM_BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(b), "v={v} above its bucket {b}");
+        if b > 0 && b < HISTOGRAM_BUCKETS - 1 {
+            prop_assert!(
+                v > bucket_upper_bound(b - 1),
+                "v={v} also fits bucket {}",
+                b - 1
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Recording a sample set spread over several threads (several shards)
+    /// merges to exactly the snapshot of recording it all on one thread.
+    #[test]
+    fn shard_merge_equals_single_shard(values in proptest::collection::vec(any::<u64>(), 1..120)) {
+        let _guard = METRICS_LOCK.lock().unwrap();
+        metrics::reset_for_test();
+        metrics::set_enabled(true);
+
+        let single = histogram("prop.single");
+        for &v in &values {
+            single.record(v);
+        }
+
+        let sharded = histogram("prop.sharded");
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(values.len().div_ceil(4)) {
+                scope.spawn(move || {
+                    for &v in chunk {
+                        sharded.record(v);
+                    }
+                });
+            }
+        });
+
+        let a = single.snapshot();
+        let b = sharded.snapshot();
+        prop_assert_eq!(a.count, b.count);
+        prop_assert_eq!(a.sum, b.sum);
+        prop_assert_eq!(a.max, b.max);
+        prop_assert_eq!(a.buckets, b.buckets);
+        metrics::set_enabled(false);
+    }
+
+    /// Quantiles never decrease in q, and never exceed the recorded max.
+    #[test]
+    fn percentiles_are_monotone(values in proptest::collection::vec(0u64..1u64 << 40, 1..200)) {
+        let _guard = METRICS_LOCK.lock().unwrap();
+        metrics::reset_for_test();
+        metrics::set_enabled(true);
+        let h = histogram("prop.quantiles");
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.p50();
+        let p90 = s.p90();
+        let p99 = s.p99();
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(p99 <= s.max, "p99 {p99} > max {}", s.max);
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        // A quantile is the upper bound of some bucket (clamped to max), so
+        // it never undershoots the true quantile of the samples.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_p50 = sorted[(values.len() - 1) / 2];
+        prop_assert!(p50 >= true_p50, "p50 {p50} < true median {true_p50}");
+        metrics::set_enabled(false);
+    }
+
+    /// Values at and beyond the top bucket's lower edge saturate into the
+    /// last bucket, and every quantile clamps to the recorded max.
+    #[test]
+    fn top_bucket_saturates(raw in any::<u64>()) {
+        let v = raw | (1u64 << 62); // anything at or above the top bucket's edge
+        prop_assert_eq!(bucket_of(v), HISTOGRAM_BUCKETS - 1);
+        let _guard = METRICS_LOCK.lock().unwrap();
+        metrics::reset_for_test();
+        metrics::set_enabled(true);
+        let h = histogram("prop.saturation");
+        h.record(v);
+        let s = h.snapshot();
+        prop_assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        prop_assert_eq!(s.p50(), v, "quantile must clamp to the true max");
+        prop_assert_eq!(s.p99(), v);
+        metrics::set_enabled(false);
+    }
+}
+
+#[test]
+fn bucket_upper_bounds_are_strictly_increasing() {
+    for i in 1..HISTOGRAM_BUCKETS {
+        assert!(
+            bucket_upper_bound(i) > bucket_upper_bound(i - 1),
+            "bucket {i}"
+        );
+    }
+    assert_eq!(bucket_upper_bound(0), 0);
+    assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+}

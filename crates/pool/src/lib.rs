@@ -55,6 +55,16 @@ pub fn pool_stats() -> PoolStats {
     registry::stats_snapshot()
 }
 
+/// Zero the pool's lifetime telemetry counters (steals, injector traffic,
+/// parks/wakes, overflows, team leases/spawns), so a test can assert on the
+/// deltas of *its own* work rather than on whatever ran earlier in the
+/// process. **Test isolation only**: counters are normally monotone for the
+/// process lifetime, and racing workers may be mid-increment — call this
+/// only at quiescence (no in-flight pool work).
+pub fn reset_telemetry_for_test() {
+    registry::reset_telemetry_for_test()
+}
+
 /// True when the process-wide sequential escape hatch is on: either the
 /// `sequential` cargo feature or `MSF_SEQUENTIAL=1|true|yes` in the
 /// environment (checked once, at first use).

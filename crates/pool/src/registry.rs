@@ -153,6 +153,11 @@ impl Registry {
         if let Some(job) = self.pop_injected() {
             return Some(job);
         }
+        // Time the steal scan only while metrics are on (the gate is one
+        // relaxed load); a hit records how long this worker hunted before
+        // finding a victim with work.
+        let scan_start =
+            crate::telemetry::STEAL_LATENCY_NS.timer_start(msf_obs::metrics::enabled());
         let p = self.deques.len();
         *rotor = rotor.wrapping_add(1);
         for offset in 0..p {
@@ -164,6 +169,7 @@ impl Registry {
                 self.counters.workers[me]
                     .steal_hits
                     .fetch_add(1, Ordering::Relaxed);
+                crate::telemetry::STEAL_LATENCY_NS.timer_record(scan_start);
                 return Some(job);
             }
             self.counters.workers[me]
@@ -329,6 +335,16 @@ impl Registry {
             }
         }
     }
+}
+
+/// Zero the registry counters and the team lease/spawn statics. Test
+/// isolation only; see [`crate::reset_telemetry_for_test`].
+pub(crate) fn reset_telemetry_for_test() {
+    if let Some(registry) = REGISTRY.get() {
+        registry.counters.reset_for_test();
+    }
+    crate::team::TEAM_LEASES.store(0, Ordering::Relaxed);
+    crate::team::TEAM_SPAWNS.store(0, Ordering::Relaxed);
 }
 
 /// The current telemetry snapshot; zeros (width 0) when the pool was never

@@ -85,12 +85,14 @@ fn team_thread_main(me: Arc<TeamThread>) {
 }
 
 fn lease_thread() -> Arc<TeamThread> {
+    let wait = crate::telemetry::LEASE_WAIT_NS.timer_start(msf_obs::metrics::enabled());
     TEAM_LEASES.fetch_add(1, Ordering::Relaxed);
     if let Some(thread) = idle_threads()
         .lock()
         .expect("team idle list poisoned")
         .pop()
     {
+        crate::telemetry::LEASE_WAIT_NS.timer_record(wait);
         return thread;
     }
     TEAM_SPAWNS.fetch_add(1, Ordering::Relaxed);
@@ -103,6 +105,7 @@ fn lease_thread() -> Arc<TeamThread> {
         .name("msf-team".to_string())
         .spawn(move || team_thread_main(clone))
         .expect("failed to spawn team thread");
+    crate::telemetry::LEASE_WAIT_NS.timer_record(wait);
     thread
 }
 

@@ -8,6 +8,41 @@
 //! no counter at all.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use msf_obs::metrics::LazyHistogram;
+
+/// How long a successful steal scan hunted (nanoseconds from the first
+/// victim probe to the hit). Gated with the rest of the metrics registry.
+pub(crate) static STEAL_LATENCY_NS: LatencyHistogram =
+    LatencyHistogram(LazyHistogram::new("pool.steal_latency_ns"));
+
+/// How long `SmpTeam::run` waited to lease one team thread (nanoseconds;
+/// cache hits are ~a mutex, spawns dominate the tail).
+pub(crate) static LEASE_WAIT_NS: LatencyHistogram =
+    LatencyHistogram(LazyHistogram::new("pool.lease_wait_ns"));
+
+/// A histogram of elapsed nanoseconds with an explicit two-phase timer, so
+/// the `Instant::now()` pair is only paid while metrics are enabled.
+pub(crate) struct LatencyHistogram(LazyHistogram);
+
+impl LatencyHistogram {
+    /// Start timing if `enabled` (pass `msf_obs::metrics::enabled()` so the
+    /// caller can share one gate check across several decisions).
+    #[inline]
+    pub(crate) fn timer_start(&self, enabled: bool) -> Option<Instant> {
+        enabled.then(Instant::now)
+    }
+
+    /// Record the elapsed time of a timer started by
+    /// [`LatencyHistogram::timer_start`]; `None` (disabled at start) is free.
+    #[inline]
+    pub(crate) fn timer_record(&self, start: Option<Instant>) {
+        if let Some(start) = start {
+            self.0.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
 
 /// A relaxed monotone counter padded to its own cache-line pair so writers
 /// of different counters never false-share.
@@ -23,6 +58,10 @@ impl Counter {
 
     pub(crate) fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
     }
 }
 
@@ -75,6 +114,20 @@ impl RegistryCounters {
             team_threads_spawned: crate::team::TEAM_SPAWNS.load(Ordering::Relaxed),
             team_leases: crate::team::TEAM_LEASES.load(Ordering::Relaxed),
         }
+    }
+
+    /// Zero every counter. Test isolation only — see
+    /// [`crate::reset_telemetry_for_test`] for the caveats.
+    pub(crate) fn reset_for_test(&self) {
+        for w in self.workers.iter() {
+            w.steal_hits.store(0, Ordering::Relaxed);
+            w.steal_misses.store(0, Ordering::Relaxed);
+            w.parks.store(0, Ordering::Relaxed);
+        }
+        self.injector_pushes.reset();
+        self.injector_pops.reset();
+        self.wakes.reset();
+        self.overflows.reset();
     }
 }
 
@@ -171,7 +224,10 @@ mod tests {
         assert_eq!(after.width, 4);
         assert_eq!(after.workers.len(), 4);
         assert!(after.team_leases >= before.team_leases + 3);
-        assert!(after.team_threads_spawned >= 3);
+        // At least one dedicated thread must ever have been created; exactly
+        // how many is a race (a fast rank can re-idle its thread between
+        // two leases of the same run, so one thread may serve all ranks).
+        assert!(after.team_threads_spawned >= 1);
         assert!(after.injector_pushes > before.injector_pushes);
         // Monotonicity across the board.
         assert!(after.steal_hits() >= before.steal_hits());

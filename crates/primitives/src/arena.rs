@@ -12,12 +12,45 @@
 //! wave of per-vertex scratch lists, uses them within the iteration, and
 //! releases everything at once with [`Arena::reset`].
 
+use msf_obs::metrics::{LazyCounter, LazyGauge};
+
+/// Chunks handed out by every arena in the process (while metrics are on).
+static ARENA_CHUNKS: LazyCounter = LazyCounter::new("arena.chunks");
+/// Times any arena had to grow its backing storage (a system allocation —
+/// in steady-state Bor-ALM this stops after the first iterations).
+static ARENA_GROWS: LazyCounter = LazyCounter::new("arena.grow_events");
+/// Live arena bytes across the process; its peak is the aggregate
+/// high-water mark of per-thread arena memory.
+static ARENA_LIVE: LazyGauge = LazyGauge::new("arena.live_bytes");
+
 /// A growable bump arena of `T` words.
 #[derive(Debug)]
 pub struct Arena<T> {
     storage: Vec<T>,
     /// High-water mark of live words (== storage.len() between allocations).
     allocated: usize,
+    /// Telemetry for this arena (per-thread by construction: arenas are
+    /// `!Sync`-by-use — one owner thread each in Bor-ALM).
+    stats: ArenaStats,
+}
+
+/// Telemetry for one arena: the per-thread view of the Bor-ALM memory
+/// story. Byte figures use `size_of::<T>()`; the process-wide aggregate
+/// lives in the metrics registry (`arena.chunks`, `arena.grow_events`,
+/// `arena.live_bytes`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Bytes live right now (words allocated since the last reset).
+    pub live_bytes: usize,
+    /// High-water mark of `live_bytes` over the arena's lifetime.
+    pub peak_bytes: usize,
+    /// Chunks ([`Arena::alloc`] / [`Arena::alloc_from`] calls) handed out.
+    pub chunks: u64,
+    /// Times the backing storage had to grow (i.e. hit the system
+    /// allocator). Zero after warm-up is the Bor-ALM design goal.
+    pub grow_events: u64,
+    /// Bytes currently reserved (survives resets).
+    pub capacity_bytes: usize,
 }
 
 /// A range handle into an [`Arena`]; resolves to a slice via
@@ -29,6 +62,14 @@ pub struct ArenaVec {
 }
 
 impl ArenaVec {
+    /// Word offset of the allocation within its arena. Together with
+    /// [`ArenaVec::len`] this lets callers persist a handle in compact
+    /// integer form and re-read it later via [`Arena::range`].
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
     /// Number of words in the allocation.
     #[inline]
     pub fn len(&self) -> usize {
@@ -42,20 +83,43 @@ impl ArenaVec {
     }
 }
 
+impl<T> Default for Arena<T> {
+    /// An empty arena with nothing reserved (grows on first use).
+    fn default() -> Self {
+        Arena {
+            storage: Vec::new(),
+            allocated: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+}
+
 impl<T: Copy + Default> Arena<T> {
     /// Create an arena with `capacity` words pre-reserved.
     pub fn with_capacity(capacity: usize) -> Self {
         Arena {
             storage: Vec::with_capacity(capacity),
             allocated: 0,
+            stats: ArenaStats::default(),
         }
     }
 
     /// Allocate `len` default-initialized words.
     pub fn alloc(&mut self, len: usize) -> ArenaVec {
         let start = self.allocated;
+        let cap_before = self.storage.capacity();
         self.storage.resize(start + len, T::default());
         self.allocated += len;
+        self.stats.chunks += 1;
+        ARENA_CHUNKS.inc();
+        if self.storage.capacity() != cap_before {
+            self.stats.grow_events += 1;
+            ARENA_GROWS.inc();
+        }
+        let bytes = len * std::mem::size_of::<T>();
+        self.stats.live_bytes += bytes;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        ARENA_LIVE.add(bytes as u64);
         ArenaVec { start, len }
     }
 
@@ -70,6 +134,13 @@ impl<T: Copy + Default> Arena<T> {
     #[inline]
     pub fn slice(&self, v: ArenaVec) -> &[T] {
         &self.storage[v.start..v.start + v.len]
+    }
+
+    /// Borrow a live range by raw `(start, len)` words — the de-persisted
+    /// form of an [`ArenaVec`] (see [`ArenaVec::start`]).
+    #[inline]
+    pub fn range(&self, start: usize, len: usize) -> &[T] {
+        &self.storage[start..start + len]
     }
 
     /// Borrow an allocation mutably.
@@ -94,8 +165,24 @@ impl<T: Copy + Default> Arena<T> {
 
     /// Release every allocation at once, keeping the reserved capacity.
     pub fn reset(&mut self) {
+        ARENA_LIVE.sub(self.stats.live_bytes as u64);
+        self.stats.live_bytes = 0;
         self.storage.clear();
         self.allocated = 0;
+    }
+
+    /// This arena's telemetry (live/peak bytes, chunk and grow counts).
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            capacity_bytes: self.storage.capacity() * std::mem::size_of::<T>(),
+            ..self.stats
+        }
+    }
+}
+
+impl<T> Drop for Arena<T> {
+    fn drop(&mut self) {
+        ARENA_LIVE.sub(self.stats.live_bytes as u64);
     }
 }
 
@@ -134,6 +221,31 @@ mod tests {
         let v = a.alloc(0);
         assert!(v.is_empty());
         assert_eq!(a.slice(v), &[] as &[u32]);
+    }
+
+    #[test]
+    fn stats_track_live_peak_chunks_and_grows() {
+        let mut a: Arena<u64> = Arena::with_capacity(4);
+        let _ = a.alloc(2);
+        let _ = a.alloc(2);
+        let s = a.stats();
+        assert_eq!(s.chunks, 2);
+        assert_eq!(s.live_bytes, 4 * 8);
+        assert_eq!(s.peak_bytes, 4 * 8);
+        assert_eq!(s.grow_events, 0, "within pre-reserved capacity");
+        let _ = a.alloc(100); // forces a grow
+        let s = a.stats();
+        assert!(s.grow_events >= 1);
+        assert_eq!(s.live_bytes, 104 * 8);
+        a.reset();
+        let s = a.stats();
+        assert_eq!(s.live_bytes, 0);
+        assert_eq!(s.peak_bytes, 104 * 8, "peak survives reset");
+        assert!(s.capacity_bytes >= 104 * 8, "capacity survives reset");
+        // Steady state: a same-sized wave after reset never grows again.
+        let grows_before = s.grow_events;
+        let _ = a.alloc(104);
+        assert_eq!(a.stats().grow_events, grows_before);
     }
 
     #[test]

@@ -85,6 +85,78 @@ fn tracing_does_not_change_any_output_bit() {
 }
 
 #[test]
+fn disabled_metrics_record_is_a_single_branch_in_cost() {
+    let _l = lock();
+    obs::metrics::set_enabled(false);
+    assert!(!obs::metrics::enabled());
+    static HIST: obs::metrics::LazyHistogram = obs::metrics::LazyHistogram::new("overhead.hist");
+    static CTR: obs::metrics::LazyCounter = obs::metrics::LazyCounter::new("overhead.ctr");
+    const CALLS: u64 = 2_000_000;
+    let t = Instant::now();
+    for i in 0..CALLS {
+        HIST.record(i);
+        CTR.inc();
+    }
+    let per_call = t.elapsed().as_nanos() as f64 / (2 * CALLS) as f64;
+    // Same contract as the span gate: one relaxed load and a branch.
+    assert!(
+        per_call < 200.0,
+        "disabled metric record costs {per_call:.1} ns/call — the disabled path must \
+         be one relaxed load and a branch"
+    );
+}
+
+#[test]
+fn disabled_metrics_cost_is_under_one_percent_of_the_workload() {
+    let _l = lock();
+    msf_pool::force_width(4);
+    let g = mesh();
+
+    // Count the records the workload would make with metrics on: the phase
+    // wall-ns histograms and shrink ratios flow through the registry, so
+    // the snapshot's total histogram count is the record volume.
+    obs::metrics::set_enabled(true);
+    obs::metrics::reset_for_test();
+    let on = workload(&g);
+    let snap = obs::metrics::snapshot();
+    let records: u64 = snap.histograms.iter().map(|h| h.count).sum::<u64>()
+        + snap.counters.iter().map(|&(_, v)| v.min(1)).sum::<u64>();
+    obs::metrics::set_enabled(false);
+    assert!(records > 0, "the workload must actually hit the registry");
+
+    // Metrics on vs off must not change a single output bit.
+    let off = workload(&g);
+    assert_eq!(on, off, "metrics must be observation, not interference");
+
+    // Per-record cost of the disabled gate.
+    static HIST: obs::metrics::LazyHistogram = obs::metrics::LazyHistogram::new("overhead.tax");
+    const CALLS: u64 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..CALLS {
+        HIST.record(i);
+    }
+    let per_record = t.elapsed().as_nanos() as f64 / CALLS as f64;
+
+    // Baseline: median of three disabled runs.
+    let mut walls: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = workload(&g);
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let baseline = walls[1];
+
+    let tax = per_record * records as f64;
+    assert!(
+        tax < baseline * 0.01,
+        "disabled metrics would cost {tax:.0} ns against a {baseline:.0} ns workload \
+         ({records} records, {per_record:.1} ns each) — over the 1% budget"
+    );
+}
+
+#[test]
 fn disabled_instrumentation_cost_is_under_one_percent_of_the_workload() {
     let _l = lock();
     msf_pool::force_width(4);
