@@ -1,18 +1,24 @@
 //! `msf` — command-line minimum spanning forest solver.
 //!
 //! ```sh
-//! msf compute <graph.gr> [--algo bor-fal] [--threads 8] [--verify] [--out forest.txt] [--trace t.json]
-//! msf certify <graph.gr> [--algo bor-fal] [--threads 8]
-//! msf trace <graph.gr> [--algo bor-fal] [--threads 8] [--out trace.json] [--strict]
+//! msf compute <graph.gr|graph.msfb> [--algo bor-fal] [--threads 8] [--verify] [--out forest.txt] [--trace t.json]
+//! msf certify <graph.gr|graph.msfb> [--algo bor-fal] [--threads 8]
+//! msf trace <graph.gr|graph.msfb> [--algo bor-fal] [--threads 8] [--out trace.json] [--strict]
 //! msf fuzz [--cases 500] [--seed 2026] [--corpus DIR] [--max-n 96] [--inject-failure]
 //! msf generate <kind> [params…] --out graph.gr [--weights uniform|small-int|exponential|bimodal]
-//! msf info <graph.gr>
-//! msf bench [--scale smoke|default|paper] [--seed 2026] [--repeats K] [--json] [--out BENCH.json]
+//! msf convert <input> <output> [--to bin|dimacs]
+//! msf info <graph.gr|graph.msfb>
+//! msf bench [--scale smoke|default|paper|large] [--seed 2026] [--repeats K] [--certify] [--json] [--out BENCH.json]
 //! msf regress --baseline OLD.json --candidate NEW.json [--threshold PCT] [--min-wall SECS]
 //! ```
 //!
-//! Graphs are DIMACS-style (`p sp n m` + `a u v w` lines, 1-indexed). The
-//! forest output lists one selected input edge per line as `u v w`.
+//! Graphs are DIMACS-style (`p sp n m` + `a u v w` lines, 1-indexed) or the
+//! `.msfb` binary format — every command that reads a graph sniffs the
+//! magic and picks the loader, so binary files work everywhere a DIMACS
+//! file does (and load via `mmap`, not a parse). `msf convert` moves
+//! between the two; `msf generate rmat`/`powerlaw` stream straight to
+//! binary when the output path ends in `.msfb`. The forest output lists
+//! one selected input edge per line as `u v w`.
 //! `certify` proves a computed forest minimum from the cut/cycle properties
 //! alone (no reference run); `fuzz` differential-tests the whole algorithm
 //! portfolio on generated graphs, shrinking any failure to a minimal DIMACS
@@ -30,10 +36,11 @@ use std::io::{BufReader, BufWriter, Write};
 
 use msf_core::{fuzz, minimum_spanning_forest, verify, Algorithm, MsfConfig};
 use msf_graph::generators::{
-    assign_weights, geometric_knn, mesh2d, mesh2d_random, mesh3d_random, random_graph, structured,
-    GeneratorConfig, StructuredKind, WeightScheme,
+    assign_weights, geometric_knn, mesh2d, mesh2d_random, mesh3d_random, powerlaw_graph,
+    powerlaw_to_binary, random_graph, rmat_graph, rmat_to_binary, structured, GeneratorConfig,
+    PowerLawConfig, RmatConfig, StructuredKind, WeightScheme,
 };
-use msf_graph::{io, EdgeList};
+use msf_graph::{binfmt, io, EdgeList};
 use msf_primitives::obs;
 
 /// Count heap traffic at the allocator (gated by `MSF_ALLOC_STATS`, forced
@@ -44,17 +51,21 @@ static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         msf compute <graph.gr> [--algo NAME] [--threads P] [--verify] [--out FILE] [--trace FILE]\n  \
-         msf certify <graph.gr> [--algo NAME] [--threads P]\n  \
-         msf trace <graph.gr> [--algo NAME] [--threads P] [--out FILE] [--strict]\n  \
+         msf compute <graph> [--algo NAME] [--threads P] [--verify] [--out FILE] [--trace FILE]\n  \
+         msf certify <graph> [--algo NAME] [--threads P]\n  \
+         msf trace <graph> [--algo NAME] [--threads P] [--out FILE] [--strict]\n  \
          msf fuzz [--cases N] [--seed S] [--corpus DIR] [--max-n N] [--inject-failure]\n  \
-         msf generate <random n m | mesh side | 2d60 side | 3d40 side | geometric n k | str0..str3 n>\n      \
-         [--seed S] [--weights uniform|small-int|exponential|bimodal] --out FILE\n  \
-         msf info <graph.gr>\n  \
-         msf bench [--scale smoke|default|paper] [--seed S] [--repeats K] [--json] [--out FILE]\n      \
-         [--trace FILE]\n  \
+         msf generate <random n m | mesh side | 2d60 side | 3d40 side | geometric n k | str0..str3 n\n                \
+         | rmat scale edge_factor | powerlaw n m>\n      \
+         [--seed S] [--weights uniform|small-int|exponential|bimodal] --out FILE\n      \
+         (rmat/powerlaw stream to binary when FILE ends in .msfb)\n  \
+         msf convert <input> <output> [--to bin|dimacs]\n  \
+         msf info <graph>\n  \
+         msf bench [--scale smoke|default|paper|large] [--seed S] [--repeats K] [--certify]\n      \
+         [--json] [--out FILE] [--trace FILE]\n  \
          msf regress --baseline OLD.json --candidate NEW.json [--threshold PCT] [--min-wall SECS]\n      \
          [--out FILE]\n\n\
+         <graph> is DIMACS (.gr) or msfb binary — detected by content, not extension\n\
          algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc"
     );
     std::process::exit(2);
@@ -97,15 +108,39 @@ fn parse_algo(s: &str) -> Option<Algorithm> {
     })
 }
 
+/// Load a graph from either format, sniffing the binary magic. Binary
+/// files validate on open (mmap) and then materialize the edge list the
+/// kernels consume; text files stream through the DIMACS parser.
 fn load(path: &str) -> EdgeList {
-    let file = File::open(path).unwrap_or_else(|e| {
+    let is_bin = binfmt::is_binary_file(path).unwrap_or_else(|e| {
         eprintln!("cannot open {path}: {e}");
         std::process::exit(1);
     });
-    io::read_dimacs(BufReader::new(file)).unwrap_or_else(|e| {
+    let parsed = if is_bin {
+        binfmt::BinGraph::open(path).and_then(|bin| bin.to_edge_list())
+    } else {
+        File::open(path).and_then(|f| io::read_dimacs(BufReader::new(f)))
+    };
+    parsed.unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(1);
     })
+}
+
+/// Bor-Dense needs a Θ(n²) matrix; refuse oversized inputs with the sized
+/// error instead of letting construction abort mid-run. (Only the bound is
+/// tested here — nothing is allocated.)
+fn check_dense_fits(algo: Algorithm, g: &EdgeList) {
+    let n = g.num_vertices();
+    if algo == Algorithm::BorDense && n > msf_graph::dense::MAX_DENSE_VERTICES {
+        let e = msf_graph::dense::DenseSizeError {
+            n,
+            entries: (n as u128).checked_mul(n as u128),
+        };
+        eprintln!("bor-dense cannot run on this input: {e}");
+        eprintln!("hint: pick a sparse algorithm (bor-fal, bor-al, mst-bc, ...)");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -119,6 +154,7 @@ fn main() {
         Some("trace") => trace_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("generate") => generate(&args[1..]),
+        Some("convert") => convert(&args[1..]),
         Some("info") => info(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("regress") => regress_cmd(&args[1..]),
@@ -159,6 +195,7 @@ fn trace_cmd(args: &[String]) {
         i += 1;
     }
     let g = load(path);
+    check_dense_fits(algo, &g);
     obs::set_enabled(true);
     let _ = obs::drain(); // discard anything recorded before this run
     let result = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(threads));
@@ -200,6 +237,7 @@ fn certify(args: &[String]) {
         i += 1;
     }
     let g = load(path);
+    check_dense_fits(algo, &g);
     let result = minimum_spanning_forest(&g, algo, &MsfConfig::with_threads(threads));
     match msf_core::certify::certify_msf_with(&g, &result, threads) {
         Ok(cert) => {
@@ -328,6 +366,7 @@ fn compute(args: &[String]) {
         i += 1;
     }
     let g = load(path);
+    check_dense_fits(algo, &g);
     if trace_path.is_some() {
         obs::set_enabled(true);
         let _ = obs::drain();
@@ -402,7 +441,46 @@ fn generate(args: &[String]) {
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| usage())
     };
-    let g = match positional.first().copied() {
+    // The streaming kinds write binary directly — O(1) memory, no
+    // materialized EdgeList — whenever the output is a .msfb path and no
+    // weight rescheme is requested.
+    let kind = positional.first().copied();
+    if matches!(kind, Some("rmat" | "powerlaw")) {
+        let out = out_path.clone().unwrap_or_else(|| usage());
+        if out.ends_with(".msfb") && weights.is_none() {
+            let (n, m) = match kind {
+                Some("rmat") => {
+                    let rc = RmatConfig::graph500(num(1) as u32, num(2) as u64, seed);
+                    let m = rmat_to_binary(&out, rc).unwrap_or_else(|e| {
+                        eprintln!("cannot write {out}: {e}");
+                        std::process::exit(1);
+                    });
+                    (rc.num_vertices(), m)
+                }
+                _ => {
+                    let pc = PowerLawConfig::new(num(1) as u64, num(2) as u64, seed);
+                    let m = powerlaw_to_binary(&out, pc).unwrap_or_else(|e| {
+                        eprintln!("cannot write {out}: {e}");
+                        std::process::exit(1);
+                    });
+                    (pc.n, m)
+                }
+            };
+            eprintln!("wrote {out}: {n} vertices, {m} edges (binary, streamed)");
+            return;
+        }
+    }
+    let g = match kind {
+        Some("rmat") => rmat_graph(RmatConfig::graph500(num(1) as u32, num(2) as u64, seed))
+            .unwrap_or_else(|e| {
+                eprintln!("rmat generation failed: {e}");
+                std::process::exit(1);
+            }),
+        Some("powerlaw") => powerlaw_graph(PowerLawConfig::new(num(1) as u64, num(2) as u64, seed))
+            .unwrap_or_else(|e| {
+                eprintln!("powerlaw generation failed: {e}");
+                std::process::exit(1);
+            }),
         Some("random") => random_graph(&cfg, num(1), num(2)),
         Some("mesh") => mesh2d(&cfg, num(1), num(1)),
         Some("2d60") => mesh2d_random(&cfg, num(1), num(1), 0.6),
@@ -424,8 +502,12 @@ fn generate(args: &[String]) {
         None => g,
     };
     let out_path = out_path.unwrap_or_else(|| usage());
-    let out = BufWriter::new(File::create(&out_path).expect("create output"));
-    io::write_dimacs(&g, out).expect("write graph");
+    if out_path.ends_with(".msfb") {
+        binfmt::write_binary(&g, &out_path).expect("write graph");
+    } else {
+        let out = BufWriter::new(File::create(&out_path).expect("create output"));
+        io::write_dimacs(&g, out).expect("write graph");
+    }
     eprintln!(
         "wrote {}: {} vertices, {} edges",
         out_path,
@@ -434,12 +516,85 @@ fn generate(args: &[String]) {
     );
 }
 
+/// `msf convert <input> <output> [--to bin|dimacs]` — translate between the
+/// DIMACS text format and the msfb binary format. Without `--to`, the
+/// direction is inferred: binary input → DIMACS, text input → binary.
+fn convert(args: &[String]) {
+    let mut to: Option<&str> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--to" => {
+                i += 1;
+                to = Some(match args.get(i).map(String::as_str) {
+                    Some(t @ ("bin" | "dimacs")) => t,
+                    _ => usage(),
+                });
+            }
+            s => positional.push(s),
+        }
+        i += 1;
+    }
+    let (input, output) = match positional.as_slice() {
+        [a, b] => (*a, *b),
+        _ => usage(),
+    };
+    let input_is_bin = binfmt::is_binary_file(input).unwrap_or_else(|e| {
+        eprintln!("cannot open {input}: {e}");
+        std::process::exit(1);
+    });
+    let to = to.unwrap_or(if input_is_bin { "dimacs" } else { "bin" });
+    let g = load(input);
+    let res = if to == "bin" {
+        binfmt::write_binary(&g, output)
+    } else {
+        File::create(output).and_then(|f| io::write_dimacs(&g, BufWriter::new(f)))
+    };
+    res.unwrap_or_else(|e| {
+        eprintln!("cannot write {output}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "converted {input} -> {output} ({to}): {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+}
+
 /// Benchmark inputs: one representative graph per generator family the
-/// paper sweeps (random, mesh, structured).
+/// paper sweeps (random, mesh, structured). The large tier swaps in the
+/// scale-leap inputs instead: an R-MAT graph that travels through the
+/// binary on-disk format (stream-write, mmap-load) before being timed, and
+/// a 2M-vertex uniform random graph.
 fn bench_inputs(scale: msf_bench::Scale, seed: u64) -> Vec<(&'static str, String, EdgeList)> {
     let n = scale.n();
-    let side = (n as f64).sqrt().round() as usize;
     let cfg = GeneratorConfig::with_seed(seed);
+    if scale == msf_bench::Scale::Large {
+        let rc = RmatConfig::graph500(20, 8, seed);
+        let path = std::env::temp_dir().join(format!("msf-bench-rmat-{}.msfb", std::process::id()));
+        let rmat = rmat_to_binary(&path, rc)
+            .and_then(|_| binfmt::BinGraph::open(&path))
+            .and_then(|bin| bin.to_edge_list())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot prepare the rmat binary input: {e}");
+                std::process::exit(1);
+            });
+        std::fs::remove_file(&path).ok();
+        return vec![
+            (
+                "rmat",
+                format!("rmat scale=20 ef=8 seed={seed} (msfb roundtrip)"),
+                rmat,
+            ),
+            (
+                "random",
+                format!("random n={n} m=2n"),
+                random_graph(&cfg, n, 2 * n),
+            ),
+        ];
+    }
+    let side = (n as f64).sqrt().round() as usize;
     vec![
         (
             "random",
@@ -464,6 +619,7 @@ fn bench(args: &[String]) {
     let mut seed = 2026u64;
     let mut repeats = 1usize;
     let mut json = false;
+    let mut do_certify = false;
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut i = 0;
@@ -492,6 +648,7 @@ fn bench(args: &[String]) {
                     .unwrap_or_else(|| usage());
             }
             "--json" => json = true,
+            "--certify" => do_certify = true,
             "--out" => {
                 i += 1;
                 out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -515,17 +672,20 @@ fn bench(args: &[String]) {
     obs::alloc::set_enabled(true);
 
     let scale_name = match scale {
+        msf_bench::Scale::Large => "large",
         msf_bench::Scale::Paper => "paper",
         msf_bench::Scale::Default => "default",
         msf_bench::Scale::Smoke => "smoke",
     };
 
     // Each entry: (generator family, graph name, |V|, |E|, per-algorithm
-    // sweeps with the heap traffic each sweep induced).
+    // sweeps with the heap traffic each sweep induced and whether the
+    // forest was certified minimum).
     type AlgoSweeps = Vec<(
         Algorithm,
         Vec<(msf_bench::Measurement, f64)>,
         obs::alloc::AllocStats,
+        bool,
     )>;
     let mut report: Vec<(&'static str, String, usize, usize, AlgoSweeps)> = Vec::new();
     for (family, name, g) in bench_inputs(scale, seed) {
@@ -548,7 +708,23 @@ fn bench(args: &[String]) {
                     m.threads, m.wall_seconds, est, m.modeled_cost
                 );
             }
-            sweeps.push((algo, sweep, alloc_delta));
+            // --certify proves the recorded forest minimum from the
+            // cut/cycle properties (widest sweep point), so the committed
+            // trajectory numbers are certified, not just recorded.
+            let certified = do_certify && {
+                let (m, _) = sweep.last().expect("sweep is never empty");
+                match msf_core::certify::certify_msf_with(&g, &m.result, m.threads) {
+                    Ok(_) => true,
+                    Err(v) => {
+                        eprintln!("  {algo}: CERTIFICATE REJECTED — {v}");
+                        std::process::exit(1);
+                    }
+                }
+            };
+            if certified {
+                eprintln!("  {algo}: forest certified minimum ✓");
+            }
+            sweeps.push((algo, sweep, alloc_delta, certified));
         }
         report.push((family, name, g.num_vertices(), g.num_edges(), sweeps));
     }
@@ -562,7 +738,7 @@ fn bench(args: &[String]) {
         "graph", "algorithm", "allocs", "frees", "alloc MiB", "peak MiB"
     );
     for (_, name, _, _, sweeps) in &report {
-        for (algo, _, a) in sweeps {
+        for (algo, _, a, _) in sweeps {
             eprintln!(
                 "  {:<28} {:<16} {:>12} {:>12} {:>12.2} {:>12.2}",
                 name,
@@ -659,10 +835,11 @@ fn bench(args: &[String]) {
         doc.push_str(&format!("      \"vertices\": {vertices},\n"));
         doc.push_str(&format!("      \"edges\": {edges},\n"));
         doc.push_str("      \"algorithms\": [\n");
-        for (ai, (algo, sweep, alloc)) in sweeps.iter().enumerate() {
+        for (ai, (algo, sweep, alloc, certified)) in sweeps.iter().enumerate() {
             let deterministic = *algo != Algorithm::MstBc;
             doc.push_str("        {\n");
             doc.push_str(&format!("          \"algorithm\": \"{algo}\",\n"));
+            doc.push_str(&format!("          \"certified\": {certified},\n"));
             doc.push_str(&format!(
                 "          \"alloc\": {{\"allocs\": {}, \"frees\": {}, \"allocated_bytes\": {}, \
                  \"peak_bytes\": {}}},\n",
@@ -826,6 +1003,32 @@ fn regress_cmd(args: &[String]) {
 
 fn info(args: &[String]) {
     let path = args.first().unwrap_or_else(|| usage());
+    if binfmt::is_binary_file(path.as_str()).unwrap_or(false) {
+        match binfmt::BinGraph::open(path.as_str()) {
+            Ok(bin) => {
+                println!("format:      msfb binary v{}", binfmt::VERSION);
+                println!("ids:         {}", if bin.wide() { "u64" } else { "u32" });
+                println!(
+                    "sorted:      {}",
+                    if bin.header().weight_sorted() {
+                        "by weight"
+                    } else {
+                        "no"
+                    }
+                );
+                println!(
+                    "backing:     {}",
+                    if bin.is_mmap() { "mmap" } else { "heap" }
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("format:      dimacs text");
+    }
     let g = load(path);
     println!("file:        {path}");
     println!("vertices:    {}", g.num_vertices());

@@ -31,6 +31,9 @@ pub const PROC_SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// Scale of the experiment suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// n = 2M vertices: past the paper's sizes, exercising the binary
+    /// on-disk format and the streaming generators (R-MAT) end to end.
+    Large,
     /// n = 1M vertices, exactly the paper's sizes. Needs a few GB of RAM
     /// and tens of minutes end-to-end on one core.
     Paper,
@@ -44,6 +47,7 @@ impl Scale {
     /// Vertex count this scale assigns to the paper's "1M" graphs.
     pub fn n(self) -> usize {
         match self {
+            Scale::Large => 2_000_000,
             Scale::Paper => 1_000_000,
             Scale::Default => 100_000,
             Scale::Smoke => 10_000,
@@ -53,6 +57,7 @@ impl Scale {
     /// Parse from a CLI word.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
+            "large" => Some(Scale::Large),
             "paper" => Some(Scale::Paper),
             "default" => Some(Scale::Default),
             "smoke" => Some(Scale::Smoke),
@@ -214,8 +219,10 @@ mod tests {
     fn scales_parse() {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
         assert_eq!(Scale::parse("huge"), None);
         assert_eq!(Scale::Smoke.n(), 10_000);
+        assert_eq!(Scale::Large.n(), 2_000_000);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Read-only byte backing for the binary graph format: `mmap(2)` where
+//! available, an aligned heap buffer otherwise.
+//!
+//! This is the only module in `msf-graph` that uses `unsafe`: the mmap
+//! syscall surface (declared directly against the platform C library that
+//! `std` already links — no external crate) and the byte→typed-slice casts
+//! behind the zero-copy views. Every cast checks alignment and length, and
+//! both backings guarantee 8-byte base alignment (pages are page-aligned;
+//! the heap fallback allocates `u64`s), so the casts are total for the
+//! format's 8-byte-aligned array offsets.
+
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io::Read;
+
+/// Read-only bytes of a whole file, memory-mapped when possible.
+pub struct Bytes {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mmap { ptr: *mut u8, len: usize },
+    /// 8-byte-aligned heap copy (`Vec<u64>` backing; `len` is in bytes).
+    Heap { buf: Vec<u64>, len: usize },
+}
+
+// The mapping is immutable and private for its whole lifetime.
+unsafe impl Send for Bytes {}
+unsafe impl Sync for Bytes {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Bytes {
+    /// Map `file` read-only. Falls back to an aligned heap read when the
+    /// platform has no mmap, the file is empty (zero-length maps are
+    /// invalid), or `MSF_NO_MMAP=1` forces the portable path.
+    pub fn from_file(file: &mut File) -> std::io::Result<Bytes> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "file larger than the address space",
+            )
+        })?;
+        if len > 0 && !no_mmap_env() {
+            #[cfg(unix)]
+            {
+                use std::os::unix::io::AsRawFd;
+                // SAFETY: fd is a valid open file descriptor, len is its
+                // exact size, and PROT_READ|MAP_PRIVATE never aliases
+                // writable memory. Failure returns MAP_FAILED, checked.
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != usize::MAX as *mut std::os::raw::c_void && !ptr.is_null() {
+                    return Ok(Bytes {
+                        inner: Inner::Mmap {
+                            ptr: ptr.cast(),
+                            len,
+                        },
+                    });
+                }
+                // fall through to the heap read on mmap failure
+            }
+        }
+        Self::heap_from_file(file, len)
+    }
+
+    /// Portable backing: read the whole file into an 8-byte-aligned buffer.
+    pub fn heap_from_file(file: &mut File, len: usize) -> std::io::Result<Bytes> {
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: a Vec<u64> of `words` elements owns `words * 8 >= len`
+        // initialized bytes; viewing them as &mut [u8] is a plain
+        // transmute of POD data with a smaller alignment requirement.
+        let dst = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+        file.read_exact(dst)?;
+        Ok(Bytes {
+            inner: Inner::Heap { buf, len },
+        })
+    }
+
+    /// True when this backing is a real memory map (used by tests to prove
+    /// both paths are exercised).
+    pub fn is_mmap(&self) -> bool {
+        match self.inner {
+            #[cfg(unix)]
+            Inner::Mmap { .. } => true,
+            Inner::Heap { .. } => false,
+        }
+    }
+
+    /// The bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mmap { ptr, len } => {
+                // SAFETY: the mapping is PROT_READ, private, lives until
+                // Drop, and spans exactly `len` bytes.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Inner::Heap { buf, len } => {
+                // SAFETY: as in heap_from_file — POD view of owned bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len) }
+            }
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mmap { ptr, len } = self.inner {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // exactly once.
+            unsafe {
+                sys::munmap(ptr.cast(), len);
+            }
+        }
+    }
+}
+
+fn no_mmap_env() -> bool {
+    std::env::var_os("MSF_NO_MMAP").is_some_and(|v| v == "1")
+}
+
+/// Plain-old-data element types the zero-copy views may cast to. Sealed to
+/// the three the format stores.
+pub trait Pod: Copy + 'static {
+    #[doc(hidden)]
+    fn __seal(_: private::Token) {}
+}
+mod private {
+    pub struct Token;
+}
+impl Pod for u32 {}
+impl Pod for u64 {}
+impl Pod for f64 {}
+
+/// View `bytes` as a slice of `T`, checking length divisibility and
+/// alignment (both backings are 8-byte aligned at base, so any offset that
+/// is a multiple of `align_of::<T>()` stays aligned).
+pub fn cast_slice<T: Pod>(bytes: &[u8]) -> std::io::Result<&[T]> {
+    let size = std::mem::size_of::<T>();
+    if !bytes.len().is_multiple_of(size) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "array of {} bytes is not a whole number of elements",
+                bytes.len()
+            ),
+        ));
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "array is not aligned for its element type",
+        ));
+    }
+    // SAFETY: T is POD (sealed), length and alignment were just checked,
+    // and the returned lifetime borrows the backing bytes.
+    Ok(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_and_reads_a_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("msf-bytes-test-{}", std::process::id()));
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9])
+            .unwrap();
+        let mut f = File::open(&path).unwrap();
+        let b = Bytes::from_file(&mut f).unwrap();
+        assert_eq!(b.as_slice(), &[1u8, 2, 3, 4, 5, 6, 7, 8, 9]);
+        // The heap path must agree byte for byte.
+        let mut f = File::open(&path).unwrap();
+        let h = Bytes::heap_from_file(&mut f, 9).unwrap();
+        assert!(!h.is_mmap());
+        assert_eq!(h.as_slice(), b.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_fine() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("msf-bytes-empty-{}", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let b = Bytes::from_file(&mut f).unwrap();
+        assert!(b.as_slice().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn casts_check_length_and_alignment() {
+        let backing = vec![0u64; 4];
+        // SAFETY-free view through the public API: build Bytes by hand.
+        let b = Bytes {
+            inner: Inner::Heap {
+                buf: backing,
+                len: 32,
+            },
+        };
+        let s = b.as_slice();
+        assert_eq!(cast_slice::<u32>(s).unwrap().len(), 8);
+        assert_eq!(cast_slice::<u64>(s).unwrap().len(), 4);
+        assert_eq!(cast_slice::<f64>(s).unwrap().len(), 4);
+        assert!(cast_slice::<u64>(&s[..12]).is_err(), "length check");
+        assert!(cast_slice::<u64>(&s[4..12]).is_err(), "alignment check");
+    }
+}

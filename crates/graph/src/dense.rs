@@ -19,6 +19,65 @@ use crate::edgelist::EdgeList;
 /// 12 bytes ≈ 4.8 GB at this bound; realistic dense inputs are far smaller).
 pub const MAX_DENSE_VERTICES: usize = 20_000;
 
+/// Why a graph cannot be held as a dense adjacency matrix: Θ(n²) entries
+/// would exceed [`MAX_DENSE_VERTICES`]² (or overflow `usize` entirely —
+/// `n * n` is computed checked, never wrapped). Carries the sizes so
+/// callers (the CLI, the algorithm dispatcher) can report the cost or fall
+/// back to a sparse representation instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseSizeError {
+    /// The offending vertex count.
+    pub n: usize,
+    /// The matrix entry count `n²` this would require, when it is even
+    /// computable in `usize`.
+    pub entries: Option<u128>,
+}
+
+impl DenseSizeError {
+    fn new(n: usize) -> DenseSizeError {
+        DenseSizeError {
+            n,
+            entries: (n as u128).checked_mul(n as u128),
+        }
+    }
+
+    /// Approximate bytes the matrix would need (12 bytes per entry).
+    pub fn bytes(&self) -> Option<u128> {
+        self.entries.and_then(|e| e.checked_mul(12))
+    }
+}
+
+impl std::fmt::Display for DenseSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Keep the historic panic phrase "caps at" — the panicking
+        // constructors surface this Display verbatim.
+        write!(
+            f,
+            "dense representation caps at {MAX_DENSE_VERTICES} vertices; {} would need",
+            self.n
+        )?;
+        match self.bytes() {
+            Some(b) => write!(f, " {} matrix bytes", b),
+            None => write!(f, " more matrix bytes than usize can count"),
+        }
+    }
+}
+
+impl std::error::Error for DenseSizeError {}
+
+impl From<DenseSizeError> for std::io::Error {
+    fn from(e: DenseSizeError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+fn checked_entries(n: usize) -> Result<usize, DenseSizeError> {
+    if n > MAX_DENSE_VERTICES {
+        return Err(DenseSizeError::new(n));
+    }
+    n.checked_mul(n).ok_or_else(|| DenseSizeError::new(n))
+}
+
 /// Symmetric adjacency matrix of minimum edges between vertex pairs.
 #[derive(Debug, Clone)]
 pub struct DenseGraph {
@@ -32,35 +91,43 @@ pub struct DenseGraph {
 impl DenseGraph {
     /// Build from an edge list; parallel edges collapse to their minimum
     /// immediately (the matrix can hold only one edge per pair).
+    ///
+    /// # Panics
+    /// Panics when the vertex count exceeds [`MAX_DENSE_VERTICES`]; use
+    /// [`DenseGraph::try_from_edge_list`] for a checked error.
     pub fn from_edge_list(g: &EdgeList) -> Self {
-        let n = g.num_vertices();
-        assert!(
-            n <= MAX_DENSE_VERTICES,
-            "dense representation caps at {MAX_DENSE_VERTICES} vertices"
-        );
-        let mut dense = DenseGraph {
-            n,
-            w: vec![f64::INFINITY; n * n],
-            id: vec![u32::MAX; n * n],
-        };
+        Self::try_from_edge_list(g).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from an edge list, reporting oversized inputs as a
+    /// [`DenseSizeError`] instead of panicking.
+    pub fn try_from_edge_list(g: &EdgeList) -> Result<Self, DenseSizeError> {
+        let mut dense = Self::try_empty(g.num_vertices())?;
         for e in g.edges() {
             dense.relax(e.u, e.v, e.w, e.id);
             dense.relax(e.v, e.u, e.w, e.id);
         }
-        dense
+        Ok(dense)
     }
 
     /// An empty matrix over `n` vertices (used by compact-graph).
+    ///
+    /// # Panics
+    /// Panics when `n` exceeds [`MAX_DENSE_VERTICES`]; use
+    /// [`DenseGraph::try_empty`] for a checked error.
     pub fn empty(n: usize) -> Self {
-        assert!(
-            n <= MAX_DENSE_VERTICES,
-            "dense representation caps at {MAX_DENSE_VERTICES} vertices"
-        );
-        DenseGraph {
+        Self::try_empty(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// An empty matrix over `n` vertices, reporting oversized `n` as a
+    /// [`DenseSizeError`] instead of panicking.
+    pub fn try_empty(n: usize) -> Result<Self, DenseSizeError> {
+        let entries = checked_entries(n)?;
+        Ok(DenseGraph {
             n,
-            w: vec![f64::INFINITY; n * n],
-            id: vec![u32::MAX; n * n],
-        }
+            w: vec![f64::INFINITY; entries],
+            id: vec![u32::MAX; entries],
+        })
     }
 
     /// Vertex count.
@@ -177,5 +244,18 @@ mod tests {
     #[should_panic(expected = "caps at")]
     fn rejects_oversized_graphs() {
         DenseGraph::empty(MAX_DENSE_VERTICES + 1);
+    }
+
+    #[test]
+    fn try_empty_reports_size_instead_of_panicking() {
+        let err = DenseGraph::try_empty(MAX_DENSE_VERTICES + 1).unwrap_err();
+        assert_eq!(err.n, MAX_DENSE_VERTICES + 1);
+        assert!(err.bytes().unwrap() > 12 * (MAX_DENSE_VERTICES as u128).pow(2));
+        assert!(err.to_string().contains("caps at"));
+        // A count whose square overflows usize must error, not wrap into a
+        // tiny allocation.
+        let huge = DenseGraph::try_empty(usize::MAX).unwrap_err();
+        assert_eq!(huge.n, usize::MAX);
+        assert!(DenseGraph::try_empty(8).is_ok());
     }
 }

@@ -12,13 +12,19 @@
 
 mod geometric;
 mod mesh;
+mod powerlaw;
 mod random;
+mod rmat;
 mod structured;
 mod weights;
 
 pub use geometric::geometric_knn;
 pub use mesh::{mesh2d, mesh2d_random, mesh3d_random};
+pub use powerlaw::{
+    powerlaw_edges, powerlaw_from, powerlaw_graph, powerlaw_to_binary, PowerLawConfig,
+};
 pub use random::random_graph;
+pub use rmat::{rmat_edges, rmat_graph, rmat_graph500, rmat_to_binary, RmatConfig};
 pub use structured::{structured, StructuredKind};
 pub use weights::{assign_weights, WeightScheme};
 

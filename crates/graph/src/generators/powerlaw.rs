@@ -1,0 +1,153 @@
+//! Power-law (heavy-tailed degree) random graphs via inverse-transform
+//! sampling — the skewed-degree complement to [`super::rmat`] in the
+//! large-graph tier.
+//!
+//! Each endpoint is drawn as `floor(n · r^alpha)` for uniform `r ∈ [0, 1)`:
+//! `alpha = 1` is the uniform `G(n, m)` model, larger `alpha` piles
+//! probability onto the low vertex ids, producing a heavy-tailed degree
+//! distribution with a handful of hub vertices. Like the R-MAT stream,
+//! every edge comes from its own splitmix64 chain keyed by `(seed, index)`,
+//! so generation is deterministic, order independent, and O(1) memory.
+
+use super::rmat::{edge_chain, unit};
+use super::GeneratorConfig;
+use crate::edgelist::{EdgeList, EdgeListBuilder, GraphBuildError};
+
+/// Power-law generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawConfig {
+    /// Vertex count.
+    pub n: u64,
+    /// Edge count.
+    pub m: u64,
+    /// Skew exponent; endpoint = `floor(n · r^alpha)`. Must be ≥ 1 and
+    /// finite. `alpha = 1` is uniform; 2–3 gives realistic hub structure.
+    pub alpha: f64,
+    /// PRNG seed; equal seeds give byte-identical edge streams.
+    pub seed: u64,
+}
+
+impl PowerLawConfig {
+    /// A config with the conventional `alpha = 2.5` skew.
+    pub fn new(n: u64, m: u64, seed: u64) -> PowerLawConfig {
+        PowerLawConfig {
+            n,
+            m,
+            alpha: 2.5,
+            seed,
+        }
+    }
+}
+
+fn endpoint(n: u64, alpha: f64, state: &mut u64) -> u64 {
+    let r = unit(state);
+    // r < 1 and alpha >= 1 keep r^alpha < 1, so the floor is < n.
+    ((n as f64) * r.powf(alpha)) as u64
+}
+
+/// The deterministic edge stream: `m` `(u, v, w)` triples with uniform
+/// `[0, 1)` weights. Self-loops are resampled inside the per-edge chain.
+///
+/// # Panics
+/// Panics when `n < 2` with `m > 0` (no self-loop-free edge exists) or when
+/// `alpha` is below 1 or non-finite.
+pub fn powerlaw_edges(cfg: PowerLawConfig) -> impl Iterator<Item = (u64, u64, f64)> {
+    assert!(
+        cfg.alpha >= 1.0 && cfg.alpha.is_finite(),
+        "alpha must be finite and >= 1"
+    );
+    assert!(cfg.n >= 2 || cfg.m == 0, "need n >= 2 to draw any edge");
+    (0..cfg.m).map(move |i| {
+        let mut state = edge_chain(cfg.seed ^ 0x50_57_4C_41, i);
+        loop {
+            let u = endpoint(cfg.n, cfg.alpha, &mut state);
+            let v = endpoint(cfg.n, cfg.alpha, &mut state);
+            if u != v {
+                return (u, v, unit(&mut state));
+            }
+        }
+    })
+}
+
+/// Stream a power-law graph directly into the binary format at `path`
+/// using O(1) memory. Id width is chosen from the vertex count. Returns
+/// the edge count written.
+pub fn powerlaw_to_binary(
+    path: impl AsRef<std::path::Path>,
+    cfg: PowerLawConfig,
+) -> std::io::Result<u64> {
+    let wide = (cfg.n as u128) > <u32 as crate::vertexid::VertexId>::MAX_COUNT;
+    crate::binfmt::write_stream(path, cfg.n, wide, powerlaw_edges(cfg))
+}
+
+/// Materialize a small power-law instance in memory (tests and benchmarks;
+/// the large tier streams to disk instead).
+pub fn powerlaw_graph(cfg: PowerLawConfig) -> Result<EdgeList, GraphBuildError> {
+    let n = usize::try_from(cfg.n)
+        .map_err(|_| GraphBuildError::TooManyVertices { n: cfg.n as u128 })?;
+    let m =
+        usize::try_from(cfg.m).map_err(|_| GraphBuildError::TooManyEdges { m: cfg.m as u128 })?;
+    let mut b = EdgeListBuilder::with_capacity(n, m)?;
+    for (u, v, w) in powerlaw_edges(cfg) {
+        b.try_push(u, v, w)?;
+    }
+    Ok(b.finish())
+}
+
+/// Convenience: a [`PowerLawConfig`] from a [`GeneratorConfig`] seed.
+pub fn powerlaw_from(gen: &GeneratorConfig, n: u64, m: u64) -> PowerLawConfig {
+    PowerLawConfig::new(n, m, gen.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_valid() {
+        let cfg = PowerLawConfig::new(500, 2000, 21);
+        let a: Vec<_> = powerlaw_edges(cfg).collect();
+        let b: Vec<_> = powerlaw_edges(cfg).collect();
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 2000);
+        for &(u, v, w) in &a {
+            assert!(u < 500 && v < 500);
+            assert_ne!(u, v);
+            assert!(w.is_finite() && (0.0..1.0).contains(&w));
+        }
+        let c: Vec<_> = powerlaw_edges(PowerLawConfig::new(500, 2000, 22)).collect();
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn alpha_controls_the_skew() {
+        let count_low = |alpha: f64| -> u64 {
+            let cfg = PowerLawConfig {
+                n: 1000,
+                m: 4000,
+                alpha,
+                seed: 5,
+            };
+            powerlaw_edges(cfg)
+                .map(|(u, v, _)| u64::from(u < 100) + u64::from(v < 100))
+                .sum()
+        };
+        let uniform = count_low(1.0);
+        let skewed = count_low(2.5);
+        assert!(
+            skewed > uniform * 3,
+            "alpha=2.5 must pile onto low ids ({skewed} vs {uniform})"
+        );
+    }
+
+    #[test]
+    fn streams_to_binary() {
+        let path = std::env::temp_dir().join(format!("msf-plaw-{}.msfb", std::process::id()));
+        let cfg = PowerLawConfig::new(200, 600, 17);
+        let m = powerlaw_to_binary(&path, cfg).unwrap();
+        assert_eq!(m, 600);
+        let bin = crate::binfmt::BinGraph::open(&path).unwrap();
+        assert_eq!(bin.to_edge_list().unwrap(), powerlaw_graph(cfg).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+}

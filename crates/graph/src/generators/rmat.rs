@@ -1,0 +1,204 @@
+//! R-MAT recursive-matrix graphs (Chakrabarti, Zhan & Faloutsos), the
+//! Graph500-style scale-free inputs for the large-graph tier.
+//!
+//! Each edge is drawn independently from its own splitmix64 chain seeded
+//! by `(seed, edge index)`, so generation is deterministic, order
+//! independent, and O(1) memory — edges stream straight into the binary
+//! writer without ever materializing the graph. Self-loops are resampled
+//! within the edge's own chain (still deterministic); multi-edges are kept,
+//! as the compact-graph step merges them anyway.
+
+use super::GeneratorConfig;
+use crate::edgelist::{EdgeList, EdgeListBuilder, GraphBuildError};
+
+/// R-MAT parameters. `scale` gives `n = 2^scale` vertices and
+/// `m = edge_factor · n` edges.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges per vertex.
+    pub edge_factor: u64,
+    /// Quadrant probability a (top-left).
+    pub a: f64,
+    /// Quadrant probability b (top-right).
+    pub b: f64,
+    /// Quadrant probability c (bottom-left); d = 1 − a − b − c.
+    pub c: f64,
+    /// PRNG seed; equal seeds give byte-identical edge streams.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters (a = 0.57, b = c = 0.19) at the given
+    /// scale and edge factor.
+    pub fn graph500(scale: u32, edge_factor: u64, seed: u64) -> RmatConfig {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+        }
+    }
+
+    /// Vertex count `2^scale`.
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Edge count `edge_factor · 2^scale`.
+    pub fn num_edges(&self) -> u64 {
+        self.edge_factor * self.num_vertices()
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in [0, 1) from 53 random bits.
+pub(crate) fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Independent chain for edge `i`: mixing the index through splitmix twice
+/// decorrelates neighboring edges regardless of the seed.
+pub(crate) fn edge_chain(seed: u64, i: u64) -> u64 {
+    let mut s = i
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seed.rotate_left(17) ^ 0xA076_1D64_78BD_642F);
+    splitmix64(&mut s);
+    splitmix64(&mut s);
+    s
+}
+
+fn rmat_endpoint_pair(cfg: &RmatConfig, state: &mut u64) -> (u64, u64) {
+    let (mut u, mut v) = (0u64, 0u64);
+    let ab = cfg.a + cfg.b;
+    let abc = ab + cfg.c;
+    for _ in 0..cfg.scale {
+        let r = unit(state);
+        let (du, dv) = if r < cfg.a {
+            (0, 0)
+        } else if r < ab {
+            (0, 1)
+        } else if r < abc {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        u = (u << 1) | du;
+        v = (v << 1) | dv;
+    }
+    (u, v)
+}
+
+/// The deterministic edge stream: `m` `(u, v, w)` triples with uniform
+/// `[0, 1)` weights. Self-loops are resampled inside the per-edge chain.
+pub fn rmat_edges(cfg: RmatConfig) -> impl Iterator<Item = (u64, u64, f64)> {
+    (0..cfg.num_edges()).map(move |i| {
+        let mut state = edge_chain(cfg.seed, i);
+        loop {
+            let (u, v) = rmat_endpoint_pair(&cfg, &mut state);
+            if u != v {
+                return (u, v, unit(&mut state));
+            }
+        }
+    })
+}
+
+/// Stream an R-MAT graph directly into the binary format at `path` using
+/// O(1) memory. Id width is chosen from the vertex count. Returns the edge
+/// count written.
+pub fn rmat_to_binary(path: impl AsRef<std::path::Path>, cfg: RmatConfig) -> std::io::Result<u64> {
+    let n = cfg.num_vertices();
+    let wide = (n as u128) > <u32 as crate::vertexid::VertexId>::MAX_COUNT;
+    crate::binfmt::write_stream(path, n, wide, rmat_edges(cfg))
+}
+
+/// Materialize a small R-MAT instance in memory (tests and benchmarks; the
+/// large tier streams to disk instead).
+pub fn rmat_graph(cfg: RmatConfig) -> Result<EdgeList, GraphBuildError> {
+    let n = usize::try_from(cfg.num_vertices()).map_err(|_| GraphBuildError::TooManyVertices {
+        n: cfg.num_vertices() as u128,
+    })?;
+    let m = usize::try_from(cfg.num_edges()).map_err(|_| GraphBuildError::TooManyEdges {
+        m: cfg.num_edges() as u128,
+    })?;
+    let mut b = EdgeListBuilder::with_capacity(n, m)?;
+    for (u, v, w) in rmat_edges(cfg) {
+        b.try_push(u, v, w)?;
+    }
+    Ok(b.finish())
+}
+
+/// Convenience: Graph500 parameters from a [`GeneratorConfig`] seed.
+pub fn rmat_graph500(gen: &GeneratorConfig, scale: u32, edge_factor: u64) -> RmatConfig {
+    RmatConfig::graph500(scale, edge_factor, gen.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_valid() {
+        let cfg = RmatConfig::graph500(8, 4, 42);
+        let a: Vec<_> = rmat_edges(cfg).collect();
+        let b: Vec<_> = rmat_edges(cfg).collect();
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 1024);
+        for &(u, v, w) in &a {
+            assert!(u < 256 && v < 256);
+            assert_ne!(u, v, "no self-loops");
+            assert!(w.is_finite() && (0.0..1.0).contains(&w));
+        }
+        let c: Vec<_> = rmat_edges(RmatConfig::graph500(8, 4, 43)).collect();
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn skews_toward_low_ids() {
+        // a = 0.57 concentrates mass in the low-id quadrant; the low half
+        // of the id space must see well over half the endpoints.
+        let cfg = RmatConfig::graph500(10, 8, 7);
+        let n_half = cfg.num_vertices() / 2;
+        let mut low = 0u64;
+        let mut total = 0u64;
+        for (u, v, _) in rmat_edges(cfg) {
+            low += u64::from(u < n_half) + u64::from(v < n_half);
+            total += 2;
+        }
+        assert!(low * 10 > total * 6, "{low}/{total} endpoints in low half");
+    }
+
+    #[test]
+    fn materialized_graph_matches_stream() {
+        let cfg = RmatConfig::graph500(6, 4, 9);
+        let g = rmat_graph(cfg).unwrap();
+        assert_eq!(g.num_vertices(), 64);
+        assert_eq!(g.num_edges(), 256);
+        let stream: Vec<_> = rmat_edges(cfg).collect();
+        for (e, &(u, v, w)) in g.edges().iter().zip(&stream) {
+            assert_eq!((u64::from(e.u), u64::from(e.v), e.w), (u, v, w));
+        }
+    }
+
+    #[test]
+    fn streams_to_binary() {
+        let path = std::env::temp_dir().join(format!("msf-rmat-{}.msfb", std::process::id()));
+        let cfg = RmatConfig::graph500(7, 4, 11);
+        let m = rmat_to_binary(&path, cfg).unwrap();
+        assert_eq!(m, cfg.num_edges());
+        let bin = crate::binfmt::BinGraph::open(&path).unwrap();
+        assert_eq!(bin.num_vertices(), 128);
+        assert_eq!(bin.to_edge_list().unwrap(), rmat_graph(cfg).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+}

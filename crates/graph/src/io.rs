@@ -1,4 +1,4 @@
-//! DIMACS-style graph I/O.
+//! Streaming DIMACS/METIS graph I/O.
 //!
 //! The 9th DIMACS shortest-path format adapted to undirected weighted
 //! graphs, as the original `hpc.ece.unm.edu` release consumed:
@@ -8,10 +8,29 @@
 //! p sp <n> <m>
 //! a <u> <v> <w>        (1-indexed endpoints, one line per undirected edge)
 //! ```
+//!
+//! Both parsers stream: each line is read into one reusable byte buffer
+//! (`BufRead::read_until`), tokens are parsed straight from the byte slice,
+//! and the full text is never resident — the only O(input) allocation is
+//! the edge list itself, reserved once from the declared edge count. A
+//! 100M-edge file therefore costs one pass and zero per-line heap traffic.
+//! Errors carry the byte offset of the offending line.
+//!
+//! Validation happens *at the boundary*: endpoints are checked against the
+//! declared vertex count, edge counts against the declared `m` (in both
+//! directions — early abort on excess, error on shortfall), weights must be
+//! finite (`nan`/`inf`/`-inf` parse as floats but are rejected), `p`/header
+//! lines may not repeat, and self-loops are refused. See
+//! [`crate::edgelist::GraphBuildError`].
 
 use std::io::{BufRead, Write};
 
-use crate::edgelist::EdgeList;
+use crate::edgelist::{EdgeList, EdgeListBuilder};
+use msf_primitives::obs::metrics::{LazyCounter, LazyHistogram};
+
+static INGEST_BYTES: LazyCounter = LazyCounter::new("ingest.text.bytes");
+static INGEST_EDGES: LazyCounter = LazyCounter::new("ingest.text.edges");
+static INGEST_WALL: LazyHistogram = LazyHistogram::new("ingest.text.wall_ns");
 
 /// Write `g` in DIMACS format.
 pub fn write_dimacs(g: &EdgeList, mut out: impl Write) -> std::io::Result<()> {
@@ -23,59 +42,172 @@ pub fn write_dimacs(g: &EdgeList, mut out: impl Write) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Parse a DIMACS graph. Edge ids are assigned in file order.
-pub fn read_dimacs(input: impl BufRead) -> std::io::Result<EdgeList> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let mut n: Option<usize> = None;
-    let mut m = 0usize;
-    let mut triples: Vec<(u32, u32, f64)> = Vec::new();
-    for line in input.lines() {
-        let line = line?;
-        let mut tok = line.split_whitespace();
-        match tok.next() {
-            None | Some("c") => continue,
-            Some("p") => {
-                let _kind = tok.next().ok_or_else(|| bad("p line missing kind"))?;
-                let nv: usize = tok
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| bad("p line missing n"))?;
-                m = tok
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| bad("p line missing m"))?;
-                n = Some(nv);
-                triples.reserve(m);
-            }
-            Some("a") => {
-                let u: u32 = tok
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| bad("a line missing u"))?;
-                let v: u32 = tok
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| bad("a line missing v"))?;
-                let w: f64 = tok
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| bad("a line missing weight"))?;
-                if u == 0 || v == 0 {
-                    return Err(bad("DIMACS vertices are 1-indexed"));
-                }
-                triples.push((u - 1, v - 1, w));
-            }
-            Some(other) => return Err(bad(&format!("unknown line kind {other:?}"))),
+/// A line-at-a-time scanner over a byte stream that reuses one buffer and
+/// tracks byte offsets. The returned slice has the trailing `\n`/`\r\n`
+/// stripped.
+struct ByteLines<R> {
+    reader: R,
+    buf: Vec<u8>,
+    next_offset: u64,
+}
+
+impl<R: BufRead> ByteLines<R> {
+    fn new(reader: R) -> Self {
+        ByteLines {
+            reader,
+            buf: Vec::with_capacity(128),
+            next_offset: 0,
         }
     }
-    let n = n.ok_or_else(|| bad("missing p line"))?;
-    if triples.len() != m {
-        return Err(bad(&format!(
-            "p line declared {m} edges, found {}",
-            triples.len()
-        )));
+
+    /// The next line as `(byte offset of line start, line bytes)`, or
+    /// `None` at EOF.
+    fn next_line(&mut self) -> std::io::Result<Option<(u64, &[u8])>> {
+        self.buf.clear();
+        let read = self.reader.read_until(b'\n', &mut self.buf)?;
+        if read == 0 {
+            return Ok(None);
+        }
+        let offset = self.next_offset;
+        self.next_offset += read as u64;
+        let mut line = self.buf.as_slice();
+        if line.last() == Some(&b'\n') {
+            line = &line[..line.len() - 1];
+        }
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        Ok(Some((offset, line)))
     }
-    Ok(EdgeList::from_triples(n, triples))
+
+    /// Total bytes consumed so far.
+    fn consumed(&self) -> u64 {
+        self.next_offset
+    }
+}
+
+/// Whitespace-delimited tokens of a line, no allocation.
+fn tokens(line: &[u8]) -> impl Iterator<Item = &[u8]> {
+    line.split(|b: &u8| b.is_ascii_whitespace())
+        .filter(|t| !t.is_empty())
+}
+
+/// Parse an unsigned decimal integer from raw bytes (overflow-checked).
+fn parse_u64(tok: &[u8]) -> Option<u64> {
+    if tok.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in tok {
+        let d = (b as char).to_digit(10)? as u64;
+        v = v.checked_mul(10)?.checked_add(d)?;
+    }
+    Some(v)
+}
+
+/// Parse a float from raw bytes. `str::parse::<f64>` does not allocate, so
+/// this keeps the hot path heap-silent. Accepts `nan`/`inf` spellings —
+/// finiteness is rejected separately so the error can say *why*.
+fn parse_f64(tok: &[u8]) -> Option<f64> {
+    std::str::from_utf8(tok).ok()?.parse().ok()
+}
+
+fn bad_at(offset: u64, msg: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("byte {offset}: {msg}"),
+    )
+}
+
+/// Parse a DIMACS graph. Edge ids are assigned in file order.
+pub fn read_dimacs(input: impl BufRead) -> std::io::Result<EdgeList> {
+    let start = std::time::Instant::now();
+    let mut lines = ByteLines::new(input);
+    let mut header: Option<(u64, u64)> = None; // (n, declared m)
+    let mut builder: Option<EdgeListBuilder> = None;
+    while let Some((offset, line)) = lines.next_line()? {
+        let mut tok = tokens(line);
+        match tok.next() {
+            None | Some(b"c") => continue,
+            Some(b"p") => {
+                if header.is_some() {
+                    return Err(bad_at(offset, "duplicate p line"));
+                }
+                let _kind = tok
+                    .next()
+                    .ok_or_else(|| bad_at(offset, "p line missing kind"))?;
+                let n = tok
+                    .next()
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad_at(offset, "p line missing n"))?;
+                let m = tok
+                    .next()
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad_at(offset, "p line missing m"))?;
+                if n > u64::try_from(usize::MAX).unwrap_or(u64::MAX) {
+                    return Err(bad_at(offset, format!("vertex count {n} unrepresentable")));
+                }
+                let b = EdgeListBuilder::with_capacity(
+                    n as usize,
+                    usize::try_from(m).unwrap_or(usize::MAX),
+                )
+                .map_err(|e| bad_at(offset, e))?;
+                header = Some((n, m));
+                builder = Some(b);
+            }
+            Some(b"a") => {
+                let (_, declared_m) = header
+                    .ok_or_else(|| bad_at(offset, "a line before p line (missing p line)"))?;
+                let b = builder
+                    .as_mut()
+                    .expect("builder exists whenever header does");
+                if b.len() as u64 >= declared_m {
+                    return Err(bad_at(
+                        offset,
+                        format!("more than the declared {declared_m} edges"),
+                    ));
+                }
+                let u = tok
+                    .next()
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad_at(offset, "a line missing u"))?;
+                let v = tok
+                    .next()
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad_at(offset, "a line missing v"))?;
+                let w = tok
+                    .next()
+                    .and_then(parse_f64)
+                    .ok_or_else(|| bad_at(offset, "a line missing weight"))?;
+                if u == 0 || v == 0 {
+                    return Err(bad_at(offset, "DIMACS vertices are 1-indexed"));
+                }
+                b.try_push(u - 1, v - 1, w).map_err(|e| bad_at(offset, e))?;
+            }
+            Some(other) => {
+                return Err(bad_at(
+                    offset,
+                    format!("unknown line kind {:?}", String::from_utf8_lossy(other)),
+                ))
+            }
+        }
+    }
+    let (_, declared_m) = header
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "missing p line"))?;
+    let builder = builder.expect("builder exists whenever header does");
+    if (builder.len() as u64) != declared_m {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "p line declared {declared_m} edges, found {} (truncated file?)",
+                builder.len()
+            ),
+        ));
+    }
+    INGEST_BYTES.add(lines.consumed());
+    INGEST_EDGES.add(builder.len() as u64);
+    INGEST_WALL.record(start.elapsed().as_nanos() as u64);
+    Ok(builder.finish())
 }
 
 /// Write `g` in METIS adjacency format with edge weights:
@@ -108,75 +240,114 @@ pub fn write_metis(g: &EdgeList, weight_scale: f64, mut out: impl Write) -> std:
 /// Parse a METIS adjacency file (weighted, fmt `001` or `1`). Each
 /// undirected edge must appear in both endpoint lines; duplicates collapse.
 pub fn read_metis(input: impl BufRead, weight_scale: f64) -> std::io::Result<EdgeList> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let mut lines = input.lines();
-    let header = loop {
-        match lines.next() {
-            Some(line) => {
-                let line = line?;
-                let t = line.trim();
-                if !t.is_empty() && !t.starts_with('%') {
-                    break t.to_string();
+    let start = std::time::Instant::now();
+    let mut lines = ByteLines::new(input);
+    // Header: first non-comment, non-blank line.
+    let (n, m) = loop {
+        match lines.next_line()? {
+            Some((_, line)) if line.is_empty() || line.first() == Some(&b'%') => continue,
+            Some((offset, line)) => {
+                let mut tok = tokens(line);
+                let n = tok
+                    .next()
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad_at(offset, "header missing n"))?;
+                let m = tok
+                    .next()
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad_at(offset, "header missing m"))?;
+                match tok.next() {
+                    None | Some(b"001") | Some(b"1") => {}
+                    Some(other) => {
+                        return Err(bad_at(
+                            offset,
+                            format!("unsupported METIS fmt {:?}", String::from_utf8_lossy(other)),
+                        ))
+                    }
                 }
+                if n > u64::try_from(usize::MAX).unwrap_or(u64::MAX) {
+                    return Err(bad_at(offset, format!("vertex count {n} unrepresentable")));
+                }
+                break (n, m);
             }
-            None => return Err(bad("missing METIS header")),
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "missing METIS header",
+                ))
+            }
         }
     };
-    let mut tok = header.split_whitespace();
-    let n: usize = tok
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("header missing n"))?;
-    let m: usize = tok
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("header missing m"))?;
-    match tok.next() {
-        None | Some("001") | Some("1") => {}
-        Some(other) => return Err(bad(&format!("unsupported METIS fmt {other:?}"))),
-    }
-
-    let mut triples: Vec<(u32, u32, f64)> = Vec::with_capacity(m);
-    let mut v = 0u32;
-    for line in lines {
-        let line = line?;
-        let t = line.trim();
-        if t.starts_with('%') {
+    let mut builder =
+        EdgeListBuilder::with_capacity(n as usize, usize::try_from(m).unwrap_or(usize::MAX))
+            .map_err(std::io::Error::from)?;
+    let mut v: u64 = 0;
+    while let Some((offset, line)) = lines.next_line()? {
+        if line.first() == Some(&b'%') {
             continue;
         }
-        if v as usize >= n {
-            if t.is_empty() {
+        if v >= n {
+            if tokens(line).next().is_none() {
                 continue;
             }
-            return Err(bad("more adjacency lines than vertices"));
+            return Err(bad_at(offset, "more adjacency lines than vertices"));
         }
-        let mut tok = t.split_whitespace();
+        let mut tok = tokens(line);
         while let Some(nbr) = tok.next() {
-            let u: u32 = nbr.parse().map_err(|_| bad("bad neighbor id"))?;
-            let w: i64 = tok
+            let u = parse_u64(nbr).ok_or_else(|| bad_at(offset, "bad neighbor id"))?;
+            let w_tok = tok
                 .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| bad("neighbor missing weight"))?;
-            if u == 0 || u as usize > n {
-                return Err(bad("neighbor id out of range (1-indexed)"));
+                .ok_or_else(|| bad_at(offset, "neighbor missing weight"))?;
+            let w_int = parse_i64(w_tok).ok_or_else(|| bad_at(offset, "bad neighbor weight"))?;
+            if u == 0 || u > n {
+                return Err(bad_at(
+                    offset,
+                    format!("neighbor id {u} out of range (1-indexed, n = {n})"),
+                ));
             }
             // Keep each undirected edge once (from its lower endpoint).
             if v < u - 1 {
-                triples.push((v, u - 1, w as f64 / weight_scale));
+                if builder.len() as u64 >= m {
+                    return Err(bad_at(offset, format!("more than the declared {m} edges")));
+                }
+                let w = w_int as f64 / weight_scale;
+                builder
+                    .try_push(v, u - 1, w)
+                    .map_err(|e| bad_at(offset, e))?;
             }
         }
         v += 1;
     }
-    if (v as usize) != n {
-        return Err(bad(&format!("expected {n} adjacency lines, got {v}")));
+    if v != n {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected {n} adjacency lines, got {v} (truncated file?)"),
+        ));
     }
-    if triples.len() != m {
-        return Err(bad(&format!(
-            "header declared {m} edges, found {}",
-            triples.len()
-        )));
+    if builder.len() as u64 != m {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("header declared {m} edges, found {}", builder.len()),
+        ));
     }
-    Ok(EdgeList::from_triples(n, triples))
+    INGEST_BYTES.add(lines.consumed());
+    INGEST_EDGES.add(builder.len() as u64);
+    INGEST_WALL.record(start.elapsed().as_nanos() as u64);
+    Ok(builder.finish())
+}
+
+/// Parse a signed decimal integer from raw bytes.
+fn parse_i64(tok: &[u8]) -> Option<i64> {
+    match tok.split_first() {
+        Some((&b'-', rest)) => {
+            let v = parse_u64(rest)?;
+            (v <= (i64::MAX as u64) + 1).then(|| (v as i64).wrapping_neg())
+        }
+        _ => {
+            let v = parse_u64(tok)?;
+            i64::try_from(v).ok()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +398,38 @@ mod tests {
     }
 
     #[test]
+    fn rejects_structural_violations_with_byte_offsets() {
+        // Duplicate p line.
+        let err = read_dimacs("p sp 3 1\np sp 3 1\na 1 2 1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("byte 9"), "{err}");
+        assert!(err.to_string().contains("duplicate p line"), "{err}");
+        // Endpoint beyond the declared vertex count.
+        let err = read_dimacs("p sp 3 1\na 1 4 1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // More edges than declared (early abort, not silent acceptance).
+        let err = read_dimacs("p sp 3 1\na 1 2 1.0\na 2 3 1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 1"), "{err}");
+        // Self-loop.
+        let err = read_dimacs("p sp 3 1\na 2 2 1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("self-loop"), "{err}");
+        // Truncated: fewer edges than declared.
+        let err = read_dimacs("p sp 3 2\na 1 2 1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_weights() {
+        for w in ["nan", "NaN", "inf", "-inf", "Infinity"] {
+            let text = format!("p sp 2 1\na 1 2 {w}\n");
+            let err = read_dimacs(text.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains("finite"),
+                "weight {w} must be rejected as non-finite, got: {err}"
+            );
+        }
+    }
+
+    #[test]
     fn metis_roundtrip_with_integer_weights() {
         // Weights that are multiples of 1/1000 survive the integer scaling.
         let base = random_graph(&GeneratorConfig::with_seed(21), 30, 80);
@@ -272,6 +475,16 @@ mod tests {
         assert!(
             read_metis("2 1 001\n0 5\n1 5\n".as_bytes(), 1.0).is_err(),
             "0-indexed neighbor"
+        );
+        assert!(
+            read_metis("2 1 001\n2 5\n".as_bytes(), 1.0).is_err(),
+            "truncated adjacency"
+        );
+        // Zero weight scale would produce infinite weights: rejected at the
+        // ingestion boundary, not downstream.
+        assert!(
+            read_metis("2 1 001\n2 5\n1 5\n".as_bytes(), 0.0).is_err(),
+            "non-finite scaled weight"
         );
     }
 

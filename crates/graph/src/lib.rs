@@ -15,12 +15,21 @@
 //!
 //! [`generators`] reproduces the full §5.1 input suite: random `G(n, m)`,
 //! regular/irregular meshes (2D, 2D60, 3D40), fixed-degree geometric graphs,
-//! and the Chung–Condon structured worst cases `str0..str3`.
+//! and the Chung–Condon structured worst cases `str0..str3` — plus the
+//! large-graph tier's streaming R-MAT and power-law generators.
+//!
+//! The large-graph substrate lives in [`binfmt`] (the `.msfb` binary
+//! on-disk format with a memory-mapped zero-copy loader), [`soa`]
+//! (structure-of-arrays edge lists and CSR generic over id width), and
+//! [`vertexid`] (the sealed u32/u64 width trait).
 
-#![forbid(unsafe_code)]
+// `binfmt::bytes` is the single intentional exception (mmap + checked POD
+// casts); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adjacency;
+pub mod binfmt;
 pub mod dense;
 pub mod edge;
 pub mod edgelist;
@@ -28,10 +37,15 @@ pub mod flexadj;
 pub mod generators;
 pub mod io;
 pub mod pathmax;
+pub mod soa;
 pub mod transform;
 pub mod validate;
+pub mod vertexid;
 
 pub use adjacency::AdjacencyArray;
+pub use binfmt::BinGraph;
 pub use edge::{Edge, EdgeKey, OrderedWeight};
-pub use edgelist::EdgeList;
+pub use edgelist::{EdgeList, GraphBuildError};
 pub use flexadj::FlexAdjacencyList;
+pub use soa::{GenericCsr, SoaEdgeList};
+pub use vertexid::VertexId;
