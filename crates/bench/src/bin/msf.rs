@@ -66,7 +66,8 @@ fn usage() -> ! {
          msf regress --baseline OLD.json --candidate NEW.json [--threshold PCT] [--min-wall SECS]\n      \
          [--out FILE]\n\n\
          <graph> is DIMACS (.gr) or msfb binary — detected by content, not extension\n\
-         algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc"
+         algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc\n            \
+         bor-write-min sf-hook"
     );
     std::process::exit(2);
 }
@@ -104,6 +105,8 @@ fn parse_algo(s: &str) -> Option<Algorithm> {
         "bor-fal-filter" => Algorithm::BorFalFilter,
         "bor-dense" => Algorithm::BorDense,
         "mst-bc" => Algorithm::MstBc,
+        "bor-write-min" => Algorithm::BorWriteMin,
+        "sf-hook" => Algorithm::SfHook,
         _ => return None,
     })
 }
@@ -670,6 +673,16 @@ fn bench(args: &[String]) {
     // are forced on regardless of MSF_METRICS / MSF_ALLOC_STATS.
     obs::metrics::set_enabled(true);
     obs::alloc::set_enabled(true);
+    // Pre-register the lock-free contention counters so the report always
+    // carries them — an uncontended run surfaces an explicit 0, not an
+    // absent key (the registry is name-keyed, so these handles alias the
+    // ones inside msf-primitives).
+    static WRITE_MIN_RETRY: obs::metrics::LazyCounter =
+        obs::metrics::LazyCounter::new("atomic.write_min.cas_retry");
+    static HOOK_RETRY: obs::metrics::LazyCounter =
+        obs::metrics::LazyCounter::new("unionfind.hook.cas_retry");
+    WRITE_MIN_RETRY.add(0);
+    HOOK_RETRY.add(0);
 
     let scale_name = match scale {
         msf_bench::Scale::Large => "large",

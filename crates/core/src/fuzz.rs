@@ -101,7 +101,7 @@ pub struct FuzzReport {
     pub failures: Vec<FuzzFailure>,
 }
 
-const ALGO_SLUGS: [(&str, Algorithm); 10] = [
+const ALGO_SLUGS: [(&str, Algorithm); 12] = [
     ("prim", Algorithm::Prim),
     ("kruskal", Algorithm::Kruskal),
     ("boruvka", Algorithm::Boruvka),
@@ -112,6 +112,8 @@ const ALGO_SLUGS: [(&str, Algorithm); 10] = [
     ("bor-fal-filter", Algorithm::BorFalFilter),
     ("bor-dense", Algorithm::BorDense),
     ("mst-bc", Algorithm::MstBc),
+    ("bor-write-min", Algorithm::BorWriteMin),
+    ("sf-hook", Algorithm::SfHook),
 ];
 
 fn slug_of(a: Algorithm) -> &'static str {

@@ -12,6 +12,8 @@
 //! | Bor-ALM (Bor-AL + per-thread arenas)    | 2.2 | [`par::bor_al`] |
 //! | Bor-FAL (flexible adjacency list)       | 2.3 | [`par::bor_fal`] |
 //! | MST-BC (concurrent Prim + Borůvka hybrid)| 4  | [`par::mst_bc`] |
+//! | Bor-WriteMin (lock-free write-min filter-Borůvka) | — | [`par::bor_write_min`] |
+//! | SF-Hook (CAS-hook front-end + cycle filter)       | — | [`par::sf_hook`] |
 //!
 //! Every algorithm solves the minimum spanning **forest** problem and, with
 //! the `(weight, edge id)` total order, produces exactly the same edge set —
@@ -56,11 +58,19 @@ pub enum Algorithm {
     BorDense,
     /// The new hybrid algorithm (concurrent Prim growth + contraction).
     MstBc,
+    /// Lock-free filter-Borůvka: per-endpoint atomic write-min races under
+    /// the packed `(weight bits, edge id)` key, recursing on the filtered
+    /// (relabel-only, multi-edges kept) edge list.
+    BorWriteMin,
+    /// Lock-free spanning-forest front-end: CAS-hooks each supervertex's
+    /// minimum edge into a concurrent union-find, then finishes with the
+    /// sampling + cycle-property filter over the reduced graph.
+    SfHook,
 }
 
 impl Algorithm {
     /// All algorithms, sequential baselines first.
-    pub const ALL: [Algorithm; 10] = [
+    pub const ALL: [Algorithm; 12] = [
         Algorithm::Prim,
         Algorithm::Kruskal,
         Algorithm::Boruvka,
@@ -71,15 +81,20 @@ impl Algorithm {
         Algorithm::BorFalFilter,
         Algorithm::BorDense,
         Algorithm::MstBc,
+        Algorithm::BorWriteMin,
+        Algorithm::SfHook,
     ];
 
-    /// The parallel algorithms compared in the paper's Figs. 4–6.
-    pub const PARALLEL: [Algorithm; 5] = [
+    /// The parallel algorithms compared in the paper's Figs. 4–6, plus the
+    /// lock-free speed contenders adjudicated against them.
+    pub const PARALLEL: [Algorithm; 7] = [
         Algorithm::BorEl,
         Algorithm::BorAl,
         Algorithm::BorAlm,
         Algorithm::BorFal,
         Algorithm::MstBc,
+        Algorithm::BorWriteMin,
+        Algorithm::SfHook,
     ];
 
     /// The paper's name for the algorithm.
@@ -95,6 +110,8 @@ impl Algorithm {
             Algorithm::BorFalFilter => "Bor-FAL+filter",
             Algorithm::BorDense => "Bor-Dense",
             Algorithm::MstBc => "MST-BC",
+            Algorithm::BorWriteMin => "Bor-WriteMin",
+            Algorithm::SfHook => "SF-Hook",
         }
     }
 }
@@ -212,6 +229,8 @@ fn dispatch(g: &EdgeList, algorithm: Algorithm, cfg: &MsfConfig) -> MsfResult {
         Algorithm::BorFalFilter => par::filter::msf(g, cfg),
         Algorithm::BorDense => par::bor_dense::msf(g, cfg),
         Algorithm::MstBc => par::mst_bc::msf(g, cfg),
+        Algorithm::BorWriteMin => par::bor_write_min::msf(g, cfg),
+        Algorithm::SfHook => par::sf_hook::msf(g, cfg),
     }
 }
 

@@ -1,0 +1,264 @@
+//! Bor-WriteMin: filter-Borůvka with per-endpoint atomic write-min races
+//! (the parlaylib `boruvka.h` shape).
+//!
+//! The paper's §2 variants all pay a sort- or list-surgery-based
+//! compact-graph step every iteration to keep find-min cheap. This
+//! contender drops that bargain entirely:
+//!
+//! 1. **find-min** is a lock-free race: every surviving edge lowers both
+//!    endpoints' [`MinSlots`] cells to its own index under the packed
+//!    `(weight bits, edge id)` key. No segments, no sort — one linear pass
+//!    over the edge array, O(m) atomic RMWs.
+//! 2. **connect** star-contracts the chosen pseudo-forest by the suite's
+//!    deterministic rule (mutual pairs broken at the smaller index, pointer
+//!    jumping, consecutive relabel) — the "deterministic rule" alternative
+//!    to coin-flipping, chosen so the contraction is schedule-independent.
+//! 3. **compact** merely relabels endpoints and filters self-loops,
+//!    *keeping multi-edges* — the "recursion on the filtered edge list" of
+//!    filter-Borůvka. Each round is O(m_i) with no reordering, so the edge
+//!    array stays in original-id order forever (the property the base case
+//!    leans on).
+//!
+//! The recursion bottoms out on a sequential Kruskal over the contracted
+//! multigraph once few edges survive, amortizing the long tail of tiny
+//! rounds. Because every pass preserves relative edge order and original
+//! ids ride along, position order in the base problem equals original-id
+//! order and the `(weight, id)` tie-break is preserved end to end: the
+//! output is the suite-wide unique forest, bit-identical at every thread
+//! count and under `MSF_SEQUENTIAL`.
+
+use msf_graph::EdgeList;
+use msf_primitives::atomic::EMPTY;
+use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::obs;
+use rayon::prelude::*;
+
+use crate::par::common::{
+    collect_undirected, connect_components, emit_unique, relabel_and_filter, write_min_race,
+    PHASE_OVERHEAD,
+};
+use crate::stats::{IterationStats, RunStats, StepKind, StepSpan};
+use crate::{MsfConfig, MsfResult};
+
+/// Below this many surviving edges the races stop paying for their phase
+/// overhead and a sequential Kruskal finishes the contracted multigraph.
+const BASE_CASE_EDGES: usize = 256;
+
+/// Compute the MSF with Bor-WriteMin.
+pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
+    let watch = Stopwatch::start();
+    let p = cfg.threads.max(1);
+    let mut stats = RunStats::new("Bor-WriteMin", p);
+
+    let setup = StepSpan::begin(StepKind::Setup, 0);
+    let mut setup_meters = vec![WorkMeter::new(); p];
+    let mut edges = collect_undirected(g, p, &mut setup_meters);
+    stats.add_flat_cost(setup.finish(&setup_meters, PHASE_OVERHEAD).modeled_max);
+
+    let mut n = g.num_vertices();
+    let mut out: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
+
+    while !edges.is_empty() {
+        if edges.len() <= BASE_CASE_EDGES {
+            base_case(n, &edges, &mut out, &mut stats);
+            break;
+        }
+        let mut it = IterationStats {
+            vertices: n,
+            directed_edges: 2 * edges.len(),
+            ..Default::default()
+        };
+        let _iteration = obs::span(
+            obs::SpanKind::Iteration,
+            stats.iterations.len() as u64,
+            n as u64,
+        );
+
+        // Step 1: the write-min race, then harvest each vertex's winner —
+        // its chosen edge id for the forest and its hook target for the
+        // contraction.
+        let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
+        let mut fm_meters = vec![WorkMeter::new(); p];
+        let slots = write_min_race(&edges, n, p, &mut fm_meters);
+        let parts: Vec<(Vec<u32>, Vec<u32>, WorkMeter)> = (0..p)
+            .into_par_iter()
+            .map(|t| {
+                let r = msf_primitives::block_range(n, p, t);
+                let mut meter = WorkMeter::new();
+                let mut chosen = Vec::new();
+                let mut to = Vec::with_capacity(r.len());
+                for v in r {
+                    meter.mem(1);
+                    let s = slots.get(v);
+                    if s == EMPTY {
+                        to.push(v as u32);
+                    } else {
+                        let e = &edges[s as usize];
+                        chosen.push(e.id);
+                        to.push(e.other(v as u32));
+                    }
+                }
+                (chosen, to, meter)
+            })
+            .collect();
+        let mut chosen = Vec::new();
+        let mut to = Vec::with_capacity(n);
+        for (t, (c, t_part, m)) in parts.into_iter().enumerate() {
+            fm_meters[t] = fm_meters[t] + m;
+            chosen.extend_from_slice(&c);
+            to.extend_from_slice(&t_part);
+        }
+        emit_unique(&mut out, chosen);
+        it.find_min = step.finish(&fm_meters, PHASE_OVERHEAD);
+
+        // Step 2: star-contract the pseudo-forest (deterministic rule:
+        // mutual pairs break at the smaller index, then pointer jumping).
+        let step = StepSpan::begin(StepKind::Connect, stats.iterations.len());
+        let mut cc_meters = vec![WorkMeter::new(); p];
+        let (labels, k) = connect_components(to, p, &mut cc_meters);
+        it.connect = step.finish(&cc_meters, PHASE_OVERHEAD);
+
+        // Step 3: relabel + drop self-loops, keeping multi-edges and
+        // original ids — the filtered list the next round recurses on.
+        let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
+        let mut cg_meters = vec![WorkMeter::new(); p];
+        edges = relabel_and_filter(&edges, &labels, p, &mut cg_meters);
+        n = k as usize;
+        it.compact = step.finish(&cg_meters, PHASE_OVERHEAD);
+
+        stats.push_iteration(it);
+        if n <= 1 {
+            break;
+        }
+    }
+
+    stats.total_seconds = watch.seconds();
+    MsfResult::from_ids(g, out, stats)
+}
+
+/// Sequential Kruskal over the contracted multigraph. Relative edge order
+/// equals original-id order (every pass is order-preserving), so the
+/// remapped position ids tie-break exactly like the originals.
+fn base_case(n: usize, edges: &[msf_graph::Edge], out: &mut Vec<u32>, stats: &mut RunStats) {
+    let step = StepSpan::begin(StepKind::BaseCase, stats.iterations.len());
+    let ids: Vec<u32> = edges.iter().map(|e| e.id).collect();
+    let sub = EdgeList::from_triples(n, edges.iter().map(|e| (e.u, e.v, e.w)).collect::<Vec<_>>());
+    let r = crate::seq::kruskal::msf(&sub);
+    out.extend(r.edges.iter().map(|&sid| ids[sid as usize]));
+    let m = edges.len() as u64;
+    let log_m = (u64::BITS - m.max(2).leading_zeros()) as u64;
+    let mut meter = WorkMeter::new();
+    meter.mem(2 * m);
+    meter.ops(m * log_m);
+    stats.add_flat_cost(step.finish(&[meter], PHASE_OVERHEAD).modeled_max);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msf_graph::generators::{mesh2d, random_graph, GeneratorConfig};
+
+    fn cfg(p: usize) -> MsfConfig {
+        MsfConfig::with_threads(p)
+    }
+
+    #[test]
+    fn triangle() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let r = msf(&g, &cfg(2));
+        assert_eq!(r.edges, vec![0, 1]);
+        assert_eq!(r.components, 1);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = random_graph(&GeneratorConfig::with_seed(seed), 400, 1600);
+            let expect = crate::seq::kruskal::msf(&g);
+            for p in [1, 2, 4] {
+                let r = msf(&g, &cfg(p));
+                assert_eq!(r.edges, expect.edges, "seed {seed}, p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn exercises_the_race_rounds_past_the_base_case() {
+        // Big enough that several write-min rounds run before the Kruskal
+        // tail takes over.
+        let g = random_graph(&GeneratorConfig::with_seed(7), 4_000, 16_000);
+        let expect = crate::seq::kruskal::msf(&g);
+        let r = msf(&g, &cfg(3));
+        assert_eq!(r.edges, expect.edges);
+        assert!(!r.stats.iterations.is_empty());
+        assert_eq!(r.stats.iterations[0].vertices, 4_000);
+        assert_eq!(r.stats.iterations[0].directed_edges, 32_000);
+        // The filtered list shrinks strictly (chosen edges self-loop away).
+        for w in r.stats.iterations.windows(2) {
+            assert!(w[1].directed_edges < w[0].directed_edges);
+        }
+        assert!(r.stats.modeled_cost > 0);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let g = mesh2d(&GeneratorConfig::with_seed(3), 70, 70);
+        let base = msf(&g, &cfg(1));
+        for p in [2, 3, 7, 8] {
+            let r = msf(&g, &cfg(p));
+            assert_eq!(r.edges, base.edges, "p {p}");
+            assert_eq!(r.total_weight.to_bits(), base.total_weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn ties_and_negative_weights_stay_deterministic() {
+        // Equal, negative, and ±0.0 weights: the packed key must break
+        // every tie by id, matching Kruskal.
+        let mut triples = Vec::new();
+        let n = 60u32;
+        for u in 0..n {
+            for v in u + 1..n {
+                let w = match (u + v) % 4 {
+                    0 => 1.0,
+                    1 => -2.5,
+                    2 => 0.0,
+                    _ => -0.0,
+                };
+                if (u * v) % 3 != 1 {
+                    triples.push((u, v, w));
+                }
+            }
+        }
+        let g = EdgeList::from_triples(n as usize, triples);
+        let expect = crate::seq::kruskal::msf(&g);
+        for p in [1, 2, 4] {
+            assert_eq!(msf(&g, &cfg(p)).edges, expect.edges, "p {p}");
+        }
+    }
+
+    #[test]
+    fn forest_and_isolated_vertices() {
+        let g = EdgeList::from_triples(6, vec![(0, 1, 1.0), (2, 3, 4.0), (3, 4, 2.0)]);
+        let r = msf(&g, &cfg(2));
+        assert_eq!(r.edges, vec![0, 1, 2]);
+        assert_eq!(r.components, 3);
+    }
+
+    #[test]
+    fn empty_graph_short_circuits() {
+        let g = EdgeList::from_triples(4, vec![]);
+        let r = msf(&g, &cfg(2));
+        assert!(r.edges.is_empty());
+        assert_eq!(r.components, 4);
+    }
+
+    #[test]
+    fn sequential_escape_hatch_is_bit_identical() {
+        let g = random_graph(&GeneratorConfig::with_seed(11), 3_000, 12_000);
+        let pooled = msf(&g, &cfg(4));
+        let seq = msf_primitives::pool::with_sequential(|| msf(&g, &cfg(4)));
+        assert_eq!(pooled.edges, seq.edges);
+        assert_eq!(pooled.total_weight.to_bits(), seq.total_weight.to_bits());
+    }
+}

@@ -2,7 +2,8 @@
 //! find-min choices, edge relabel/contract passes, and the modeled-cost
 //! conventions.
 
-use msf_graph::{Edge, OrderedWeight};
+use msf_graph::{Edge, EdgeList, OrderedWeight};
+use msf_primitives::atomic::{packed_edge_key, MinSlots};
 use msf_primitives::connectivity::{pointer_jump, relabel_consecutive};
 use msf_primitives::cost::WorkMeter;
 use msf_primitives::prefix::exclusive_scan;
@@ -235,6 +236,75 @@ pub(crate) fn segmented_find_min(
         out.extend_from_slice(&part);
     }
     out
+}
+
+/// Copy the undirected edge list, dropping self-loops, in `p` metered
+/// blocks — the one-time setup pass of the lock-free contenders, which
+/// iterate over the *undirected* m-entry list (no mirroring, no sorting).
+pub(crate) fn collect_undirected(g: &EdgeList, p: usize, meters: &mut [WorkMeter]) -> Vec<Edge> {
+    let all = g.edges();
+    let p = p.max(1);
+    let parts: Vec<(Vec<Edge>, WorkMeter)> = (0..p)
+        .into_par_iter()
+        .map(|t| {
+            let r = msf_primitives::block_range(all.len(), p, t);
+            let mut meter = WorkMeter::new();
+            let mut out = Vec::with_capacity(r.len());
+            for e in &all[r] {
+                meter.mem(1);
+                if e.u != e.v {
+                    out.push(*e);
+                }
+            }
+            (out, meter)
+        })
+        .collect();
+    let mut out = Vec::with_capacity(all.len());
+    for (t, (part, m)) in parts.into_iter().enumerate() {
+        meters[t] = meters[t] + m;
+        out.extend_from_slice(&part);
+    }
+    out
+}
+
+/// The per-endpoint write-min race (parlaylib `boruvka.h`): every edge
+/// lowers both endpoints' slots to its own index under the packed
+/// `(weight bits, edge id)` key, so the quiescent slots hold each vertex's
+/// unique minimum incident edge — the same winner the barriered segmented
+/// scan elects, without any sort or segment structure.
+pub(crate) fn write_min_race(
+    edges: &[Edge],
+    n: usize,
+    p: usize,
+    meters: &mut [WorkMeter],
+) -> MinSlots {
+    let p = p.max(1);
+    let slots = MinSlots::new(n);
+    let key = |i: u64| {
+        let e = &edges[i as usize];
+        packed_edge_key(e.w, e.id)
+    };
+    let parts: Vec<WorkMeter> = (0..p)
+        .into_par_iter()
+        .map(|t| {
+            let r = msf_primitives::block_range(edges.len(), p, t);
+            let mut meter = WorkMeter::new();
+            // Slot initialization, amortized over the blocks.
+            meter.mem((n / p) as u64 + 1);
+            for i in r {
+                let e = &edges[i];
+                // Two atomic RMWs per edge (plus rare retry reloads).
+                meter.mem(2);
+                slots.write_min_by(e.u as usize, i as u64, key);
+                slots.write_min_by(e.v as usize, i as u64, key);
+            }
+            meter
+        })
+        .collect();
+    for (t, m) in parts.into_iter().enumerate() {
+        meters[t] = meters[t] + m;
+    }
+    slots
 }
 
 /// Sort + dedup a batch of chosen edge ids (both endpoints of a mutual pair

@@ -1,9 +1,12 @@
-//! The four parallel Borůvka variants (§2) and the new MST-BC hybrid (§4).
+//! The four parallel Borůvka variants (§2), the new MST-BC hybrid (§4), and
+//! the lock-free speed contenders (Bor-WriteMin, SF-Hook).
 
 pub mod bor_al;
 pub mod bor_dense;
 pub mod bor_el;
 pub mod bor_fal;
+pub mod bor_write_min;
 pub(crate) mod common;
 pub mod filter;
 pub mod mst_bc;
+pub mod sf_hook;

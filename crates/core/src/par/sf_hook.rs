@@ -1,0 +1,261 @@
+//! SF-Hook: lock-free union-find front-end + cycle-property filter finish
+//! (the gbbs `nd.h` shape).
+//!
+//! Where Bor-WriteMin recurses on the filtered list to the end, this
+//! contender spends only a fixed number of rounds on lock-free contraction
+//! and hands the reduced graph to the sampling + cycle-property filter:
+//!
+//! 1. **find-min** — the same per-endpoint write-min race, electing each
+//!    supervertex's minimum incident edge under the packed
+//!    `(weight bits, edge id)` key.
+//! 2. **connect** — instead of pointer-jumping a pseudo-forest array, the
+//!    chosen edges are CAS-hooked into a [`ConcurrentUnionFind`]: each
+//!    unite claims the smaller root's hooks slot by `compare_exchange` and
+//!    retires it under the larger root (gbbs `nd.h`). The deduped chosen
+//!    edges form a forest, so every one of them retires exactly one root
+//!    and the hooks array *is* the round's forest contribution —
+//!    schedule-independent as a set. A parallel find-all pass then
+//!    pointer-jumps every vertex to its root (path halving), and roots are
+//!    renumbered consecutively.
+//! 3. **compact** — relabel + drop self-loops, keeping multi-edges.
+//!
+//! After [`HOOK_ROUNDS`] rounds the surviving supervertex count has dropped
+//! by ≥ 4x (each round at least halves it) and the remaining edges go to
+//! [`crate::par::filter`] — coin-flip sampling, path-max queries, Bor-FAL
+//! on the survivors — whose output ids map back through the front-end's
+//! order-preserving edge list. Both stages preserve the `(weight, id)`
+//! total order end to end, so the result is the suite-wide unique forest,
+//! bit-identical at every thread count and under `MSF_SEQUENTIAL`.
+
+use msf_graph::EdgeList;
+use msf_primitives::atomic::EMPTY;
+use msf_primitives::connectivity::concurrent::ConcurrentUnionFind;
+use msf_primitives::cost::{Stopwatch, WorkMeter};
+use msf_primitives::obs;
+use rayon::prelude::*;
+
+use crate::par::common::{
+    collect_undirected, connect_components_from_roots, emit_unique, relabel_and_filter,
+    write_min_race, PHASE_OVERHEAD,
+};
+use crate::stats::{IterationStats, RunStats, StepKind, StepSpan};
+use crate::{MsfConfig, MsfResult};
+
+/// Lock-free contraction rounds before the filter takes over. Two rounds
+/// cut the supervertex count by at least 4x (usually far more), which is
+/// where the race's O(m) passes stop paying against the filter's ability
+/// to discard most remaining edges outright.
+const HOOK_ROUNDS: usize = 2;
+
+/// Compute the MSF with SF-Hook.
+pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
+    let watch = Stopwatch::start();
+    let p = cfg.threads.max(1);
+    let mut stats = RunStats::new("SF-Hook", p);
+
+    let setup = StepSpan::begin(StepKind::Setup, 0);
+    let mut setup_meters = vec![WorkMeter::new(); p];
+    let mut edges = collect_undirected(g, p, &mut setup_meters);
+    stats.add_flat_cost(setup.finish(&setup_meters, PHASE_OVERHEAD).modeled_max);
+
+    let mut n = g.num_vertices();
+    let mut out: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
+
+    for _ in 0..HOOK_ROUNDS {
+        if edges.is_empty() || n <= 1 {
+            break;
+        }
+        let mut it = IterationStats {
+            vertices: n,
+            directed_edges: 2 * edges.len(),
+            ..Default::default()
+        };
+        let _iteration = obs::span(
+            obs::SpanKind::Iteration,
+            stats.iterations.len() as u64,
+            n as u64,
+        );
+
+        // Step 1: elect each supervertex's minimum incident edge.
+        let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
+        let mut fm_meters = vec![WorkMeter::new(); p];
+        let slots = write_min_race(&edges, n, p, &mut fm_meters);
+        it.find_min = step.finish(&fm_meters, PHASE_OVERHEAD);
+
+        // Step 2: CAS-hook the chosen edges into the concurrent union-find,
+        // then pointer-jump every vertex to its root. The hooks array comes
+        // back as this round's forest edges.
+        let step = StepSpan::begin(StepKind::Connect, stats.iterations.len());
+        let mut cc_meters = vec![WorkMeter::new(); p];
+        let uf = ConcurrentUnionFind::new(n);
+        let log_n = (usize::BITS - n.max(2).leading_zeros()) as u64;
+        let hook_meters: Vec<WorkMeter> = (0..p)
+            .into_par_iter()
+            .map(|t| {
+                let r = msf_primitives::block_range(n, p, t);
+                let mut meter = WorkMeter::new();
+                for v in r {
+                    meter.mem(1);
+                    let s = slots.get(v);
+                    if s != EMPTY {
+                        let e = &edges[s as usize];
+                        // Two finds plus one CAS, all scattered.
+                        meter.mem(2 * log_n + 1);
+                        uf.unite(e.u, e.v, e.id);
+                    }
+                }
+                meter
+            })
+            .collect();
+        let root_parts: Vec<(Vec<u32>, WorkMeter)> = (0..p)
+            .into_par_iter()
+            .map(|t| {
+                let r = msf_primitives::block_range(n, p, t);
+                let mut meter = WorkMeter::new();
+                meter.mem(r.len() as u64 * log_n);
+                let part: Vec<u32> = r.map(|v| uf.find(v as u32)).collect();
+                (part, meter)
+            })
+            .collect();
+        let mut roots = Vec::with_capacity(n);
+        for (t, ((part, m), hm)) in root_parts.into_iter().zip(hook_meters).enumerate() {
+            cc_meters[t] = cc_meters[t] + m + hm;
+            roots.extend_from_slice(&part);
+        }
+        emit_unique(&mut out, uf.hooked());
+        let (labels, k) = connect_components_from_roots(roots, p, &mut cc_meters);
+        it.connect = step.finish(&cc_meters, PHASE_OVERHEAD);
+
+        // Step 3: relabel + drop self-loops, keeping multi-edges.
+        let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
+        let mut cg_meters = vec![WorkMeter::new(); p];
+        edges = relabel_and_filter(&edges, &labels, p, &mut cg_meters);
+        n = k as usize;
+        it.compact = step.finish(&cg_meters, PHASE_OVERHEAD);
+
+        stats.push_iteration(it);
+    }
+
+    // Finish: cycle-property filter over the reduced graph. The edge list
+    // is order-preserving (position order == original-id order), so the
+    // inner run's (weight, position) tie-break equals (weight, original id)
+    // and the id remap below is exact.
+    if !edges.is_empty() && n > 1 {
+        let ids: Vec<u32> = edges.iter().map(|e| e.id).collect();
+        let reduced =
+            EdgeList::from_triples(n, edges.iter().map(|e| (e.u, e.v, e.w)).collect::<Vec<_>>());
+        let inner = crate::par::filter::msf(&reduced, cfg);
+        stats.add_flat_cost(inner.stats.modeled_cost);
+        out.extend(inner.edges.iter().map(|&rid| ids[rid as usize]));
+    }
+
+    stats.total_seconds = watch.seconds();
+    MsfResult::from_ids(g, out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msf_graph::generators::{mesh2d, random_graph, GeneratorConfig};
+
+    fn cfg(p: usize) -> MsfConfig {
+        MsfConfig::with_threads(p)
+    }
+
+    #[test]
+    fn triangle() {
+        let g = EdgeList::from_triples(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let r = msf(&g, &cfg(2));
+        assert_eq!(r.edges, vec![0, 1]);
+        assert_eq!(r.components, 1);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = random_graph(&GeneratorConfig::with_seed(seed), 400, 1600);
+            let expect = crate::seq::kruskal::msf(&g);
+            for p in [1, 2, 4] {
+                let r = msf(&g, &cfg(p));
+                assert_eq!(r.edges, expect.edges, "seed {seed}, p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn hook_rounds_then_filter_on_larger_inputs() {
+        let g = random_graph(&GeneratorConfig::with_seed(7), 4_000, 16_000);
+        let expect = crate::seq::kruskal::msf(&g);
+        let r = msf(&g, &cfg(3));
+        assert_eq!(r.edges, expect.edges);
+        // Exactly the front-end rounds appear as iterations.
+        assert_eq!(r.stats.iterations.len(), HOOK_ROUNDS);
+        assert_eq!(r.stats.iterations[0].vertices, 4_000);
+        for w in r.stats.iterations.windows(2) {
+            assert!(w[1].directed_edges < w[0].directed_edges);
+            // Every non-isolated supervertex merges, so n drops sharply.
+            assert!(w[1].vertices < w[0].vertices / 2 + 8);
+        }
+        assert!(r.stats.modeled_cost > 0);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let g = mesh2d(&GeneratorConfig::with_seed(3), 70, 70);
+        let base = msf(&g, &cfg(1));
+        for p in [2, 3, 7, 8] {
+            let r = msf(&g, &cfg(p));
+            assert_eq!(r.edges, base.edges, "p {p}");
+            assert_eq!(r.total_weight.to_bits(), base.total_weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn ties_and_negative_weights_stay_deterministic() {
+        let mut triples = Vec::new();
+        let n = 60u32;
+        for u in 0..n {
+            for v in u + 1..n {
+                let w = match (u + v) % 4 {
+                    0 => 1.0,
+                    1 => -2.5,
+                    2 => 0.0,
+                    _ => -0.0,
+                };
+                if (u * v) % 3 != 1 {
+                    triples.push((u, v, w));
+                }
+            }
+        }
+        let g = EdgeList::from_triples(n as usize, triples);
+        let expect = crate::seq::kruskal::msf(&g);
+        for p in [1, 2, 4] {
+            assert_eq!(msf(&g, &cfg(p)).edges, expect.edges, "p {p}");
+        }
+    }
+
+    #[test]
+    fn forest_and_isolated_vertices() {
+        let g = EdgeList::from_triples(6, vec![(0, 1, 1.0), (2, 3, 4.0), (3, 4, 2.0)]);
+        let r = msf(&g, &cfg(2));
+        assert_eq!(r.edges, vec![0, 1, 2]);
+        assert_eq!(r.components, 3);
+    }
+
+    #[test]
+    fn empty_graph_short_circuits() {
+        let g = EdgeList::from_triples(4, vec![]);
+        let r = msf(&g, &cfg(2));
+        assert!(r.edges.is_empty());
+        assert_eq!(r.components, 4);
+    }
+
+    #[test]
+    fn sequential_escape_hatch_is_bit_identical() {
+        let g = random_graph(&GeneratorConfig::with_seed(11), 3_000, 12_000);
+        let pooled = msf(&g, &cfg(4));
+        let seq = msf_primitives::pool::with_sequential(|| msf(&g, &cfg(4)));
+        assert_eq!(pooled.edges, seq.edges);
+        assert_eq!(pooled.total_weight.to_bits(), seq.total_weight.to_bits());
+    }
+}

@@ -6,8 +6,10 @@
 //! contraction step needs components of an arbitrary edge set, for which
 //! [`sv`] provides a Shiloach–Vishkin-style parallel algorithm.
 //! [`seq`] holds sequential reference implementations used for verification
-//! and as the small-problem fallback.
+//! and as the small-problem fallback. [`concurrent`] is the lock-free
+//! CAS-hooking union–find behind the SF-Hook spanning-forest front-end.
 
+pub mod concurrent;
 pub mod label_prop;
 pub mod pointer_jump;
 pub mod seq;

@@ -15,8 +15,12 @@
 //! * [`prefix`] — sequential and parallel prefix sums and compaction.
 //! * [`sort`] — insertion sort, non-recursive merge sort, and the parallel
 //!   sample sort used by the Bor-EL compact-graph step.
-//! * [`connectivity`] — pointer-jumping components for Borůvka hook forests
-//!   and Shiloach–Vishkin components for arbitrary edge lists.
+//! * [`connectivity`] — pointer-jumping components for Borůvka hook forests,
+//!   Shiloach–Vishkin components for arbitrary edge lists, and a lock-free
+//!   CAS-hooking union–find for spanning-forest front-ends.
+//! * [`atomic`] — lock-free atomic write-min slots (the parlaylib race
+//!   replacing barriered segmented find-min), with the order-isomorphic
+//!   `(weight bits, edge id)` packed key.
 //! * [`unionfind`] — sequential union–find (rank + path compression).
 //! * [`heap`] — an indexed binary heap with `decrease-key` for Prim-style
 //!   tree growth.
@@ -41,6 +45,7 @@ pub use msf_obs as obs;
 pub use msf_pool as pool;
 
 pub mod arena;
+pub mod atomic;
 pub mod connectivity;
 pub mod cost;
 pub mod heap;

@@ -157,6 +157,56 @@ fn disabled_metrics_cost_is_under_one_percent_of_the_workload() {
 }
 
 #[test]
+fn disabled_cas_retry_counters_stay_under_the_one_percent_guard() {
+    let _l = lock();
+    msf_pool::force_width(4);
+    let g = mesh();
+    let contenders = [Algorithm::BorWriteMin, Algorithm::SfHook];
+    let run_both = |g: &EdgeList| {
+        for a in contenders {
+            let _ = minimum_spanning_forest(g, a, &MsfConfig::with_threads(4));
+        }
+    };
+
+    // The retry counters sit inside CAS failure paths, which execute with
+    // metrics on or off — so the disabled-path tax is the failure count
+    // (measured with metrics on; zero on an uncontended run is fine) times
+    // the cost of the disabled gate.
+    obs::metrics::set_enabled(true);
+    obs::metrics::reset_for_test();
+    run_both(&g);
+    let snap = obs::metrics::snapshot();
+    let retries = snap.counter("atomic.write_min.cas_retry").unwrap_or(0)
+        + snap.counter("unionfind.hook.cas_retry").unwrap_or(0);
+    obs::metrics::set_enabled(false);
+
+    static CTR: obs::metrics::LazyCounter = obs::metrics::LazyCounter::new("overhead.retry");
+    const CALLS: u64 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..CALLS {
+        CTR.inc();
+    }
+    let per_inc = t.elapsed().as_nanos() as f64 / CALLS as f64;
+
+    let mut walls: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            run_both(&g);
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let baseline = walls[1];
+
+    let tax = per_inc * retries as f64;
+    assert!(
+        tax < baseline * 0.01,
+        "disabled cas-retry gates would cost {tax:.0} ns against a {baseline:.0} ns \
+         contender run ({retries} retries, {per_inc:.1} ns/inc) — over the 1% budget"
+    );
+}
+
+#[test]
 fn disabled_instrumentation_cost_is_under_one_percent_of_the_workload() {
     let _l = lock();
     msf_pool::force_width(4);

@@ -1,0 +1,267 @@
+//! Multi-thread contention stress for the lock-free substrate behind the
+//! speed contenders: `atomic::MinSlots` (write-min races) and
+//! `connectivity::concurrent::ConcurrentUnionFind` (CAS hooking).
+//!
+//! Three contracts are held here:
+//!
+//! * **Determinism under racing.** However the schedule interleaves, the
+//!   quiescent slot values equal the sequential minimum, and the union-find
+//!   partition equals the sequential union-find's over the same pairs (its
+//!   hooked tags always forming a spanning forest of the united pairs).
+//! * **Contention is observable.** The `atomic.write_min.cas_retry` and
+//!   `unionfind.hook.cas_retry` registry counters must go nonzero when real
+//!   threads actually race. A single round of racing is not *guaranteed* to
+//!   lose a CAS (the scheduler may never preempt inside the read-CAS
+//!   window, especially on few-core hosts), so the tests rerun the workload
+//!   until a retry shows up, bounded by a generous cap.
+//! * **`MSF_SEQUENTIAL` means sequential.** Under the escape hatch the
+//!   primitives take their plain load/compare/store paths: same answers,
+//!   exactly zero CAS retries.
+//!
+//! The metrics registry is process-global, so every test serializes on one
+//! mutex and resets the registry before measuring.
+
+use std::sync::Mutex;
+
+use msf_primitives::atomic::{MinSlots, EMPTY};
+use msf_primitives::connectivity::concurrent::ConcurrentUnionFind;
+use msf_primitives::obs;
+use msf_primitives::team::SmpTeam;
+use msf_primitives::unionfind::UnionFind;
+
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const P: usize = 8;
+
+/// Read a registry counter, treating "never registered" as zero (lazy
+/// counters only register on their first enabled increment).
+fn counter(name: &str) -> u64 {
+    obs::metrics::snapshot().counter(name).unwrap_or(0)
+}
+
+/// Rounds of re-racing before we give up waiting for a lost CAS. Each
+/// round is millions of atomic ops; even a single-core host preempts
+/// inside the read-CAS window well within this budget.
+const MAX_ROUNDS: usize = 60;
+
+/// xorshift64* — deterministic pseudo-random stream, no external RNG.
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// One round of the slot race: `P` ranks hammer one shared slot with the
+/// same strictly descending value sequence, so whenever a rank is preempted
+/// between its read and its CAS the slot moves underneath it. Returns the
+/// quiescent slot value.
+fn race_one_slot(iters: u64) -> u64 {
+    let slots = MinSlots::new(1);
+    SmpTeam::new(P).run(|_ctx| {
+        for i in 0..iters {
+            // BASE - i: every rank walks the same descending ramp.
+            slots.write_min(0, u64::MAX - 1 - i);
+        }
+    });
+    slots.get(0)
+}
+
+#[test]
+fn racing_write_min_converges_to_the_sequential_min() {
+    let _l = lock();
+    obs::metrics::set_enabled(true);
+    obs::metrics::reset_for_test();
+
+    // Many slots, pseudo-random values: the quiescent state must equal the
+    // per-slot sequential minimum no matter how the ranks interleave.
+    const SLOTS: usize = 64;
+    const ITERS: usize = 20_000;
+    let slots = MinSlots::new(SLOTS);
+    SmpTeam::new(P).run(|ctx| {
+        let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(ctx.rank as u64 + 1);
+        for _ in 0..ITERS {
+            x = xorshift(x);
+            let slot = (x >> 32) as usize % SLOTS;
+            let v = x & 0x00FF_FFFF_FFFF_FFFF; // well below EMPTY
+            slots.write_min(slot, v);
+        }
+    });
+    // Recompute the expected minima sequentially from the same streams.
+    let mut expect = vec![EMPTY; SLOTS];
+    for rank in 0..P {
+        let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(rank as u64 + 1);
+        for _ in 0..ITERS {
+            x = xorshift(x);
+            let slot = (x >> 32) as usize % SLOTS;
+            let v = x & 0x00FF_FFFF_FFFF_FFFF;
+            expect[slot] = expect[slot].min(v);
+        }
+    }
+    for (s, &e) in expect.iter().enumerate() {
+        assert_eq!(slots.get(s), e, "slot {s}");
+    }
+    obs::metrics::set_enabled(false);
+}
+
+#[test]
+fn contended_write_min_reports_cas_retries() {
+    let _l = lock();
+    obs::metrics::set_enabled(true);
+    obs::metrics::reset_for_test();
+
+    if msf_pool::sequential_env() {
+        // MSF_SEQUENTIAL=1: the team runs inline and the slots take the
+        // plain path — the race still converges, with zero retries.
+        assert_eq!(race_one_slot(100_000), u64::MAX - 100_000);
+        assert_eq!(counter("atomic.write_min.cas_retry"), 0);
+        obs::metrics::set_enabled(false);
+        return;
+    }
+    let mut rounds = 0;
+    while counter("atomic.write_min.cas_retry") == 0 && rounds < MAX_ROUNDS {
+        assert_eq!(race_one_slot(400_000), u64::MAX - 400_000);
+        rounds += 1;
+    }
+    let retries = counter("atomic.write_min.cas_retry");
+    obs::metrics::set_enabled(false);
+    assert!(
+        retries > 0,
+        "8 ranks hammered one slot for {rounds} rounds without a single lost CAS"
+    );
+}
+
+#[test]
+fn sequential_escape_hatch_records_zero_retries() {
+    let _l = lock();
+    obs::metrics::set_enabled(true);
+    obs::metrics::reset_for_test();
+
+    msf_primitives::pool::with_sequential(|| {
+        assert_eq!(race_one_slot(200_000), u64::MAX - 200_000);
+        let uf = ConcurrentUnionFind::new(128);
+        SmpTeam::new(P).run(|ctx| {
+            let mut x = xorshift(0xDEADBEEF + ctx.rank as u64);
+            for i in 0..5_000u32 {
+                x = xorshift(x);
+                let (u, v) = ((x >> 32) as u32 % 128, x as u32 % 128);
+                if u != v {
+                    uf.unite(u, v, i % (u32::MAX - 1));
+                }
+            }
+        });
+    });
+    let wm = counter("atomic.write_min.cas_retry");
+    let hook = counter("unionfind.hook.cas_retry");
+    obs::metrics::set_enabled(false);
+    assert_eq!(wm, 0, "sequential write_min must never lose a CAS");
+    assert_eq!(hook, 0, "sequential hooking must never lose a CAS");
+}
+
+/// One round of union-find racing over a fixed pseudo-random pair list on
+/// a deliberately tiny vertex set (every unite collides with every other).
+/// Verifies the partition against the sequential union-find and that the
+/// hooked tags form a spanning forest of the united pairs.
+fn race_union_find(n: u32, pairs: &[(u32, u32)]) {
+    let uf = ConcurrentUnionFind::new(n as usize);
+    SmpTeam::new(P).run(|ctx| {
+        // Block-partition the pair list over the ranks.
+        let r = msf_primitives::block_range(pairs.len(), ctx.p, ctx.rank);
+        for i in r {
+            let (u, v) = pairs[i];
+            uf.unite(u, v, i as u32);
+        }
+    });
+    let mut seq = UnionFind::new(n as usize);
+    for &(u, v) in pairs {
+        seq.union(u as usize, v as usize);
+    }
+    for u in 0..n {
+        for v in u + 1..n {
+            assert_eq!(
+                uf.same_set(u, v),
+                seq.find(u as usize) == seq.find(v as usize),
+                "partition diverged at ({u}, {v})"
+            );
+        }
+    }
+    // The hooks array must hold exactly a spanning forest of the pairs:
+    // n - components edges, each one joining two distinct trees.
+    let components = seq.set_count();
+    let hooked = uf.hooked();
+    assert_eq!(hooked.len(), n as usize - components);
+    let mut check = UnionFind::new(n as usize);
+    for &tag in &hooked {
+        let (u, v) = pairs[tag as usize];
+        assert!(
+            check.union(u as usize, v as usize),
+            "hooked edge {tag} closes a cycle"
+        );
+    }
+}
+
+#[test]
+fn racing_union_find_matches_sequential() {
+    let _l = lock();
+    const N: u32 = 256;
+    let mut pairs = Vec::new();
+    let mut x = 0x2545F4914F6CDD1Du64;
+    for _ in 0..4_000 {
+        x = xorshift(x);
+        let (u, v) = ((x >> 32) as u32 % N, x as u32 % N);
+        if u != v {
+            pairs.push((u, v));
+        }
+    }
+    for _ in 0..8 {
+        race_union_find(N, &pairs);
+    }
+}
+
+/// One round of the hook race: *every* rank walks the same ascending star
+/// `(0, v)`. Vertices another rank already absorbed are cheap same-root
+/// no-ops, so a trailing rank races through them and rejoins the frontier
+/// immediately — whenever the frontier rank is preempted between its find
+/// and its CAS on the shared current root, the next rank scheduled claims
+/// that root first and the resumed CAS fails. Every rank is therefore
+/// contending at the frontier for the whole round, single core or not.
+fn race_star(n: u32) {
+    let uf = ConcurrentUnionFind::new(n as usize);
+    SmpTeam::new(P).run(|_ctx| {
+        for v in 1..n {
+            uf.unite(0, v, v - 1);
+        }
+    });
+    assert!(uf.same_set(0, n - 1));
+    assert_eq!(uf.hooked().len(), n as usize - 1);
+}
+
+#[test]
+fn contended_hooking_reports_cas_retries() {
+    let _l = lock();
+    obs::metrics::set_enabled(true);
+    obs::metrics::reset_for_test();
+
+    const N: u32 = 200_000;
+    if msf_pool::sequential_env() {
+        race_star(N);
+        assert_eq!(counter("unionfind.hook.cas_retry"), 0);
+        obs::metrics::set_enabled(false);
+        return;
+    }
+    let mut rounds = 0;
+    while counter("unionfind.hook.cas_retry") == 0 && rounds < MAX_ROUNDS {
+        race_star(N);
+        rounds += 1;
+    }
+    let retries = counter("unionfind.hook.cas_retry");
+    obs::metrics::set_enabled(false);
+    assert!(
+        retries > 0,
+        "8 ranks raced an ascending star for {rounds} rounds without a lost hook CAS"
+    );
+}
