@@ -10,6 +10,8 @@
 //! msf info <graph.gr|graph.msfb>
 //! msf bench [--scale smoke|default|paper|large] [--seed 2026] [--repeats K] [--certify] [--json] [--out BENCH.json]
 //! msf regress --baseline OLD.json --candidate NEW.json [--threshold PCT] [--min-wall SECS]
+//! msf serve --listen <unix:PATH|HOST:PORT> [--paranoid] [--preload NAME=PATH]…
+//! msf client <addr> <op> [args…]
 //! ```
 //!
 //! Graphs are DIMACS-style (`p sp n m` + `a u v w` lines, 1-indexed) or the
@@ -32,7 +34,7 @@
 //! and exits nonzero when the candidate regressed.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 
 use msf_core::{fuzz, minimum_spanning_forest, verify, Algorithm, MsfConfig};
 use msf_graph::generators::{
@@ -64,7 +66,12 @@ fn usage() -> ! {
          msf bench [--scale smoke|default|paper|large] [--seed S] [--repeats K] [--certify]\n      \
          [--json] [--out FILE] [--trace FILE]\n  \
          msf regress --baseline OLD.json --candidate NEW.json [--threshold PCT] [--min-wall SECS]\n      \
-         [--out FILE]\n\n\
+         [--out FILE]\n  \
+         msf serve --listen <unix:PATH|HOST:PORT> [--algo NAME] [--threads P] [--paranoid]\n      \
+         [--registry-bytes N] [--large-threshold U] [--max-inflight U] [--max-queued N]\n      \
+         [--preload NAME=PATH]...\n  \
+         msf client <addr> <ping|load NAME PATH|compute NAME|certify NAME|info NAME|evict NAME\n      \
+         |stats|shutdown> [--algo NAME] [--threads P] [--paranoid] [--no-cache]\n\n\
          <graph> is DIMACS (.gr) or msfb binary — detected by content, not extension\n\
          algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc\n            \
          bor-write-min sf-hook"
@@ -94,39 +101,21 @@ fn finish_trace(path: &str, strict: bool) {
 }
 
 fn parse_algo(s: &str) -> Option<Algorithm> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "prim" => Algorithm::Prim,
-        "kruskal" => Algorithm::Kruskal,
-        "boruvka" => Algorithm::Boruvka,
-        "bor-el" => Algorithm::BorEl,
-        "bor-al" => Algorithm::BorAl,
-        "bor-alm" => Algorithm::BorAlm,
-        "bor-fal" => Algorithm::BorFal,
-        "bor-fal-filter" => Algorithm::BorFalFilter,
-        "bor-dense" => Algorithm::BorDense,
-        "mst-bc" => Algorithm::MstBc,
-        "bor-write-min" => Algorithm::BorWriteMin,
-        "sf-hook" => Algorithm::SfHook,
-        _ => return None,
-    })
+    Algorithm::parse(s)
 }
 
 /// Load a graph from either format, sniffing the binary magic. Binary
 /// files validate on open (mmap) and then materialize the edge list the
 /// kernels consume; text files stream through the DIMACS parser.
+///
+/// Any failure — missing file, unreadable path, truncated or malformed
+/// content — is a clean one-line diagnostic and exit 2 (the CLI's usage
+/// exit code), never a panic: scripts distinguish "bad input" (2) from
+/// "algorithm failed" (1).
 fn load(path: &str) -> EdgeList {
-    let is_bin = binfmt::is_binary_file(path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        std::process::exit(1);
-    });
-    let parsed = if is_bin {
-        binfmt::BinGraph::open(path).and_then(|bin| bin.to_edge_list())
-    } else {
-        File::open(path).and_then(|f| io::read_dimacs(BufReader::new(f)))
-    };
-    parsed.unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        std::process::exit(1);
+    msf_server::registry::load_graph_file(path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
     })
 }
 
@@ -161,7 +150,207 @@ fn main() {
         Some("info") => info(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("regress") => regress_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// `msf serve` — run the persistent daemon until SIGTERM/SIGINT or a
+/// shutdown frame; the exit code is 1 when any request hard-failed (handler
+/// panic or a paranoid certification rejecting a served forest).
+fn serve_cmd(args: &[String]) {
+    let mut cfg = msf_server::ServerConfig::default();
+    let mut preload: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                let addr = args.get(i).unwrap_or_else(|| usage());
+                cfg.listen = msf_server::Listen::parse(addr).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--algo" => {
+                i += 1;
+                cfg.default_algorithm = args
+                    .get(i)
+                    .and_then(|s| parse_algo(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                cfg.default_threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--registry-bytes" => {
+                i += 1;
+                cfg.registry_bytes = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--large-threshold" => {
+                i += 1;
+                cfg.admission.large_threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-inflight" => {
+                i += 1;
+                cfg.admission.max_inflight_units = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-queued" => {
+                i += 1;
+                cfg.admission.max_queued = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--paranoid" => cfg.paranoid = true,
+            "--preload" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| usage());
+                match spec.split_once('=') {
+                    Some((name, path)) => preload.push((name.into(), path.into())),
+                    None => {
+                        eprintln!("--preload wants NAME=PATH, got '{spec}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match msf_server::server::serve_with(cfg, &preload) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `msf client <addr> <op> …` — one request against a running daemon.
+/// Exit codes: 0 ok, 1 server-side error, 3 rejected by admission control,
+/// 2 usage/transport problems.
+fn client_cmd(args: &[String]) {
+    use msf_server::proto::Response;
+    let addr = args.first().unwrap_or_else(|| usage());
+    let op = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    let mut client = msf_server::Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(2);
+    });
+    let rest = &args[2..];
+    let mut algo = String::new();
+    let mut threads = 0u32;
+    let mut paranoid = false;
+    let mut no_cache = false;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--algo" => {
+                i += 1;
+                algo = rest.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                threads = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--paranoid" => paranoid = true,
+            "--no-cache" => no_cache = true,
+            s => positional.push(s),
+        }
+        i += 1;
+    }
+    let sent = match (op, positional.as_slice()) {
+        ("ping", []) => client.ping(),
+        ("load", [name, path]) => client.load(name, path),
+        ("compute", [name]) => client.compute(name, &algo, threads, paranoid, no_cache),
+        ("certify", [name]) => client.certify(name, &algo, threads),
+        ("info", [name]) => client.info(name),
+        ("evict", [name]) => client.evict(name),
+        ("stats", []) => client.stats(),
+        ("shutdown", []) => client.shutdown(),
+        _ => usage(),
+    };
+    let resp = sent.unwrap_or_else(|e| {
+        eprintln!("request failed: {e}");
+        std::process::exit(2);
+    });
+    match resp {
+        Response::Error { message } => {
+            eprintln!("server error: {message}");
+            std::process::exit(1);
+        }
+        Response::Overloaded { queued, max } => {
+            eprintln!("rejected by admission control: {queued}/{max} jobs queued");
+            std::process::exit(3);
+        }
+        Response::Pong => println!("pong"),
+        Response::ShuttingDown => println!("server is draining"),
+        Response::Loaded {
+            vertices,
+            edges,
+            bytes,
+            fresh,
+        } => println!(
+            "loaded: {vertices} vertices, {edges} edges, ~{bytes} bytes resident{}",
+            if fresh { "" } else { " (already resident)" }
+        ),
+        Response::Evicted { was_resident } => println!(
+            "evicted: {}",
+            if was_resident {
+                "was resident"
+            } else {
+                "was not resident"
+            }
+        ),
+        Response::Stats { text } => print!("{text}"),
+        Response::Info(r) => println!(
+            "info: {} vertices, {} edges, density {:.3}, resident={} (~{} bytes)",
+            r.vertices, r.edges, r.density, r.resident, r.resident_bytes
+        ),
+        Response::Computed(r) => println!(
+            "computed [{}]: {} forest edges, {} trees, weight {:.6}, checksum {:016x}, \
+             {:.3} ms{}{}",
+            r.algorithm,
+            r.forest_edges,
+            r.components,
+            r.total_weight,
+            r.checksum,
+            r.wall_ns as f64 / 1e6,
+            if r.round_cache_hit {
+                ", round-cache hit"
+            } else {
+                ""
+            },
+            if r.certified { ", certified" } else { "" }
+        ),
+        Response::Certified(r) => println!(
+            "certified: {} forest edges in {} trees, {} cycle queries, {} cut checks, \
+             checksum {:016x}, {:.3} ms",
+            r.forest_edges,
+            r.trees,
+            r.cycle_queries,
+            r.cut_checks,
+            r.checksum,
+            r.wall_ns as f64 / 1e6
+        ),
     }
 }
 
@@ -617,6 +806,65 @@ fn bench_inputs(scale: msf_bench::Scale, seed: u64) -> Vec<(&'static str, String
     ]
 }
 
+/// What the serve-mode bench measurement records.
+struct ServeBenchEntry {
+    graph: String,
+    algorithm: String,
+    first_wall_ns: u64,
+    repeat_wall_ns: u64,
+    repeat_cache_hit: bool,
+    checksum: u64,
+}
+
+/// Serve the first bench input from an in-process daemon twice: the first
+/// compute populates the contracted-intermediate cache, the repeat serves
+/// round 1 from it. Both must produce the identical unique forest.
+fn serve_bench_entry(scale: msf_bench::Scale, seed: u64) -> ServeBenchEntry {
+    use msf_server::proto::{Op, Request, Response};
+    let (_, name, g) = bench_inputs(scale, seed)
+        .into_iter()
+        .next()
+        .expect("bench inputs are never empty");
+    let server = msf_server::Server::new(msf_server::ServerConfig::default());
+    server.registry.put("bench-serve", g);
+    let mut req = Request::op(Op::Compute);
+    req.graph = "bench-serve".into();
+    let run = |label: &str| match server.handle(&req) {
+        Response::Computed(r) => r,
+        other => {
+            eprintln!("serve bench {label} compute failed: {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let first = run("first");
+    let repeat = run("repeat");
+    if first.checksum != repeat.checksum {
+        eprintln!(
+            "serve bench: repeat compute diverged (checksum {:016x} vs {:016x})",
+            first.checksum, repeat.checksum
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "serve: first {:.3} ms, repeat {:.3} ms (round cache {})",
+        first.wall_ns as f64 / 1e6,
+        repeat.wall_ns as f64 / 1e6,
+        if repeat.round_cache_hit {
+            "hit"
+        } else {
+            "miss"
+        }
+    );
+    ServeBenchEntry {
+        graph: name,
+        algorithm: repeat.algorithm.clone(),
+        first_wall_ns: first.wall_ns,
+        repeat_wall_ns: repeat.wall_ns,
+        repeat_cache_hit: repeat.round_cache_hit,
+        checksum: repeat.checksum,
+    }
+}
+
 fn bench(args: &[String]) {
     let mut scale = msf_bench::Scale::Default;
     let mut seed = 2026u64;
@@ -778,8 +1026,18 @@ fn bench(args: &[String]) {
         .unwrap_or(1);
     let pool_width = msf_pool::width();
     let sequential = msf_pool::sequential_env();
-    let pool = msf_pool::pool_stats();
+    // Serve-mode entry: an in-process daemon serving the first bench graph.
+    // The first compute pays the initial Borůvka round; the repeat serves
+    // it from the contracted-intermediate cache — the delta is the benefit
+    // a resident daemon offers over the offline CLI, measured in the same
+    // report that tracks the offline numbers.
+    let serve = serve_bench_entry(scale, seed);
+    // One source of truth: fold the pool's native counters into the metrics
+    // registry, then let both this JSON block and the daemon's scrape
+    // endpoint read the same names out of the same snapshot.
+    msf_pool::publish_metrics();
     let metrics = obs::metrics::snapshot();
+    let pool_counter = |name: &str| metrics.counter(name).unwrap_or(0);
     let mem = obs::alloc::stats();
     // Hand-rolled JSON (no serde in the offline image). Every emitted string
     // is generated here and contains no characters needing escapes.
@@ -804,25 +1062,54 @@ fn bench(args: &[String]) {
     ));
     doc.push_str("  },\n");
     doc.push_str("  \"pool\": {\n");
-    doc.push_str(&format!("    \"threads\": {},\n", pool.width));
-    doc.push_str(&format!("    \"steal_hits\": {},\n", pool.steal_hits()));
-    doc.push_str(&format!("    \"steal_misses\": {},\n", pool.steal_misses()));
-    doc.push_str(&format!("    \"parks\": {},\n", pool.parks()));
+    doc.push_str(&format!("    \"threads\": {pool_width},\n"));
+    doc.push_str(&format!(
+        "    \"steal_hits\": {},\n",
+        pool_counter("pool.steal_hits")
+    ));
+    doc.push_str(&format!(
+        "    \"steal_misses\": {},\n",
+        pool_counter("pool.steal_misses")
+    ));
+    doc.push_str(&format!("    \"parks\": {},\n", pool_counter("pool.parks")));
     doc.push_str(&format!(
         "    \"injector_pushes\": {},\n",
-        pool.injector_pushes
+        pool_counter("pool.injector_pushes")
     ));
-    doc.push_str(&format!("    \"injector_pops\": {},\n", pool.injector_pops));
-    doc.push_str(&format!("    \"wakes\": {},\n", pool.wakes));
+    doc.push_str(&format!(
+        "    \"injector_pops\": {},\n",
+        pool_counter("pool.injector_pops")
+    ));
+    doc.push_str(&format!("    \"wakes\": {},\n", pool_counter("pool.wakes")));
     doc.push_str(&format!(
         "    \"deque_overflows\": {},\n",
-        pool.deque_overflows
+        pool_counter("pool.deque_overflows")
     ));
     doc.push_str(&format!(
         "    \"team_threads_spawned\": {},\n",
-        pool.team_threads_spawned
+        pool_counter("pool.team_threads_spawned")
     ));
-    doc.push_str(&format!("    \"team_leases\": {}\n", pool.team_leases));
+    doc.push_str(&format!(
+        "    \"team_leases\": {}\n",
+        pool_counter("pool.team_leases")
+    ));
+    doc.push_str("  },\n");
+    doc.push_str("  \"serve\": {\n");
+    doc.push_str(&format!("    \"graph\": \"{}\",\n", serve.graph));
+    doc.push_str(&format!("    \"algorithm\": \"{}\",\n", serve.algorithm));
+    doc.push_str(&format!(
+        "    \"first_wall_ns\": {},\n",
+        serve.first_wall_ns
+    ));
+    doc.push_str(&format!(
+        "    \"repeat_wall_ns\": {},\n",
+        serve.repeat_wall_ns
+    ));
+    doc.push_str(&format!(
+        "    \"repeat_cache_hit\": {},\n",
+        serve.repeat_cache_hit
+    ));
+    doc.push_str(&format!("    \"checksum\": \"{:016x}\"\n", serve.checksum));
     doc.push_str("  },\n");
     push_metrics_json(&mut doc, &metrics);
     doc.push_str("  \"memory\": {\n");

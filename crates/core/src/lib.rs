@@ -24,6 +24,7 @@
 
 pub mod certify;
 pub mod fuzz;
+pub mod job;
 pub mod par;
 pub mod seq;
 pub mod stats;
@@ -96,6 +97,30 @@ impl Algorithm {
         Algorithm::BorWriteMin,
         Algorithm::SfHook,
     ];
+
+    /// The CLI/wire slug (lower-case, hyphenated; `parse` inverts it).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Algorithm::Prim => "prim",
+            Algorithm::Kruskal => "kruskal",
+            Algorithm::Boruvka => "boruvka",
+            Algorithm::BorEl => "bor-el",
+            Algorithm::BorAl => "bor-al",
+            Algorithm::BorAlm => "bor-alm",
+            Algorithm::BorFal => "bor-fal",
+            Algorithm::BorFalFilter => "bor-fal-filter",
+            Algorithm::BorDense => "bor-dense",
+            Algorithm::MstBc => "mst-bc",
+            Algorithm::BorWriteMin => "bor-write-min",
+            Algorithm::SfHook => "sf-hook",
+        }
+    }
+
+    /// Parse a slug (case-insensitive); inverse of [`Algorithm::slug`].
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        let lower = s.to_ascii_lowercase();
+        Algorithm::ALL.iter().copied().find(|a| a.slug() == lower)
+    }
 
     /// The paper's name for the algorithm.
     pub fn name(self) -> &'static str {
@@ -185,6 +210,29 @@ pub struct MsfResult {
 }
 
 impl MsfResult {
+    /// A stable 64-bit fingerprint of the forest: FNV-1a over the sorted
+    /// edge ids, the weight bits, and the tree count. Because the
+    /// `(weight, edge id)` total order makes the MSF unique, every
+    /// algorithm — and every client of a serving daemon — must observe the
+    /// same checksum for the same input graph.
+    pub fn checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for &id in &self.edges {
+            eat(&id.to_le_bytes());
+        }
+        eat(&self.total_weight.to_bits().to_le_bytes());
+        eat(&self.components.to_le_bytes());
+        h
+    }
+
     pub(crate) fn from_ids(g: &EdgeList, mut ids: Vec<u32>, stats: RunStats) -> Self {
         ids.sort_unstable();
         debug_assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate MSF edge");

@@ -108,11 +108,15 @@ pub enum SpanKind {
     /// The edge-filtering stage of Bor-FAL+filter. end: `a` = edges kept,
     /// `b` = edges dropped.
     Filter = 10,
+    /// One served request in the `msf serve` daemon. begin: `a` = protocol
+    /// opcode, `b` = admission work units. end: `a` = 1 if the request
+    /// succeeded, `b` = wall nanoseconds.
+    Serve = 11,
 }
 
 impl SpanKind {
     /// Every kind, for iteration in tests and exporters.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Run,
         SpanKind::Setup,
         SpanKind::Iteration,
@@ -123,6 +127,7 @@ impl SpanKind {
         SpanKind::TeamRun,
         SpanKind::Rank,
         SpanKind::Filter,
+        SpanKind::Serve,
     ];
 
     /// The display name used in chrome-trace output and summaries.
@@ -138,6 +143,7 @@ impl SpanKind {
             SpanKind::TeamRun => "team-run",
             SpanKind::Rank => "rank",
             SpanKind::Filter => "filter",
+            SpanKind::Serve => "serve",
         }
     }
 

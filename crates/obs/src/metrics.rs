@@ -539,6 +539,45 @@ impl MetricsSnapshot {
     }
 }
 
+impl MetricsSnapshot {
+    /// Render the snapshot as a Prometheus-style plaintext exposition: one
+    /// `# TYPE` line plus sample lines per metric, dots in names rewritten
+    /// to underscores. Histograms are emitted as summaries (`_count`,
+    /// `_sum`, `_max`, and the three standard `quantile` samples) — the
+    /// log-bucketed internal representation is an implementation detail.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v, peak) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+            let _ = writeln!(out, "{n}_peak {peak}");
+        }
+        for h in &self.histograms {
+            let n = sanitize(&h.name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+            let _ = writeln!(out, "{n}_max {}", h.max);
+        }
+        out
+    }
+}
+
 /// Merge every registered metric into an owned snapshot.
 pub fn snapshot() -> MetricsSnapshot {
     with_registry(|metrics| {
@@ -783,6 +822,36 @@ mod tests {
         let s = h.snapshot();
         assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
         assert!(s.buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let _g = locked();
+        set_enabled(true);
+        let c = counter("test.prom.counter");
+        let g = gauge("test.prom.gauge");
+        let h = histogram("test.prom.hist");
+        c.reset();
+        g.reset();
+        h.reset();
+        c.add(3);
+        g.add(5);
+        h.record(7);
+        let text = snapshot().prometheus_text();
+        set_enabled(false);
+        assert!(text.contains("# TYPE test_prom_counter counter"));
+        assert!(text.contains("test_prom_counter 3"));
+        assert!(text.contains("test_prom_gauge 5"));
+        assert!(text.contains("test_prom_gauge_peak 5"));
+        assert!(text.contains("# TYPE test_prom_hist summary"));
+        assert!(text.contains("test_prom_hist_count 1"));
+        assert!(text.contains("test_prom_hist{quantile=\"0.5\"} 7"));
+        // No raw dots survive sanitization in metric names (quantile label
+        // values like "0.5" are the only dots allowed).
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitized name in {line:?}");
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::sync::OnceLock;
 pub use barrier::{BarrierPoisoned, SenseBarrier};
 pub use slots::RankSlots;
 pub use team::{run_team, run_team_collect};
-pub use telemetry::{PoolStats, PoolWorkerStats};
+pub use telemetry::{publish_metrics, PoolStats, PoolWorkerStats};
 
 /// A monotone snapshot of the pool's lifetime telemetry counters (steals,
 /// injector traffic, parks/wakes, deque overflows, team leases). Never
@@ -62,7 +62,8 @@ pub fn pool_stats() -> PoolStats {
 /// process lifetime, and racing workers may be mid-increment — call this
 /// only at quiescence (no in-flight pool work).
 pub fn reset_telemetry_for_test() {
-    registry::reset_telemetry_for_test()
+    registry::reset_telemetry_for_test();
+    telemetry::reset_published_for_test();
 }
 
 /// True when the process-wide sequential escape hatch is on: either the

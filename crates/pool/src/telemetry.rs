@@ -167,6 +167,64 @@ pub struct PoolStats {
     pub team_leases: u64,
 }
 
+/// Totals already pushed into the metrics registry, so republishing adds
+/// only the delta (registry counters are add-only; pool counters are
+/// monotone).
+static PUBLISHED: std::sync::Mutex<[u64; 9]> = std::sync::Mutex::new([0; 9]);
+
+/// Sync the pool's lifetime telemetry into the `msf-obs` metrics registry
+/// as the nine `pool.*` counters, making the registry the single source of
+/// truth for every consumer (`msf bench --json`, the daemon's scrape
+/// endpoint). Idempotent and monotone: each call adds only what accrued
+/// since the previous call. No-op while metrics are disabled.
+///
+/// Caveat for tests: `msf_obs::metrics::reset_for_test` zeroes the registry
+/// but not the internal published-totals cache, so assert on snapshot
+/// *deltas* around the work under test rather than absolute values (or call
+/// [`crate::reset_telemetry_for_test`] too, which resets both sides).
+pub fn publish_metrics() {
+    use msf_obs::metrics::LazyCounter;
+    static COUNTERS: [LazyCounter; 9] = [
+        LazyCounter::new("pool.steal_hits"),
+        LazyCounter::new("pool.steal_misses"),
+        LazyCounter::new("pool.parks"),
+        LazyCounter::new("pool.injector_pushes"),
+        LazyCounter::new("pool.injector_pops"),
+        LazyCounter::new("pool.wakes"),
+        LazyCounter::new("pool.deque_overflows"),
+        LazyCounter::new("pool.team_threads_spawned"),
+        LazyCounter::new("pool.team_leases"),
+    ];
+    if !msf_obs::metrics::enabled() {
+        return;
+    }
+    let s = crate::pool_stats();
+    let now = [
+        s.steal_hits(),
+        s.steal_misses(),
+        s.parks(),
+        s.injector_pushes,
+        s.injector_pops,
+        s.wakes,
+        s.deque_overflows,
+        s.team_threads_spawned,
+        s.team_leases,
+    ];
+    let mut last = PUBLISHED.lock().unwrap_or_else(|e| e.into_inner());
+    for ((counter, &cur), prev) in COUNTERS.iter().zip(&now).zip(last.iter_mut()) {
+        // saturating: reset_telemetry_for_test can move pool counters
+        // backwards mid-process; never push a wrapped delta.
+        counter.add(cur.saturating_sub(*prev));
+        *prev = cur;
+    }
+}
+
+/// Forget the published-totals cache (paired with zeroing the pool's own
+/// counters). Test isolation only.
+pub(crate) fn reset_published_for_test() {
+    *PUBLISHED.lock().unwrap_or_else(|e| e.into_inner()) = [0; 9];
+}
+
 impl PoolStats {
     /// Total successful steals across workers.
     pub fn steal_hits(&self) -> u64 {
@@ -209,6 +267,44 @@ mod tests {
         assert_eq!(stats.steal_hits(), 7);
         assert_eq!(stats.steal_misses(), 30);
         assert_eq!(stats.parks(), 3);
+    }
+
+    #[test]
+    fn publish_metrics_pushes_monotone_deltas_into_registry() {
+        crate::force_width(4);
+        msf_obs::metrics::set_enabled(true);
+        publish_metrics(); // sync whatever ran before this test
+        let before = msf_obs::metrics::snapshot()
+            .counter("pool.team_leases")
+            .unwrap_or(0);
+        // One 4-rank team run leases exactly 3 non-zero-rank threads.
+        crate::run_team(4, &|_rank| {});
+        publish_metrics();
+        let mid = msf_obs::metrics::snapshot()
+            .counter("pool.team_leases")
+            .expect("pool.team_leases must be registered after publish");
+        assert!(mid >= before + 3, "leases {before} -> {mid}");
+        // Republishing without new pool work never double-counts: the
+        // registry value may only grow by what other tests' pool work
+        // accrued, never shrink.
+        publish_metrics();
+        let after = msf_obs::metrics::snapshot()
+            .counter("pool.team_leases")
+            .unwrap();
+        assert!(after >= mid);
+        let snap = msf_obs::metrics::snapshot();
+        for name in [
+            "pool.steal_hits",
+            "pool.steal_misses",
+            "pool.parks",
+            "pool.injector_pushes",
+            "pool.injector_pops",
+            "pool.wakes",
+            "pool.deque_overflows",
+            "pool.team_threads_spawned",
+        ] {
+            assert!(snap.counter(name).is_some(), "{name} missing from registry");
+        }
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! The resident-graph registry: named graphs loaded once and shared across
+//! clients, with a capacity bound enforced by least-recently-used eviction
+//! and refcount-safe unloading.
+//!
+//! Entries hand out `Arc<ResidentGraph>`, so eviction never invalidates an
+//! in-flight job: the registry drops *its* reference and the memory is
+//! freed when the last job finishes. The registry also remembers the path
+//! each name was loaded from even after eviction, so a later request for an
+//! evicted graph transparently reloads it from disk (counted separately —
+//! reloads are the price of a too-small capacity, and the scrape endpoint
+//! makes that visible).
+//!
+//! Each resident graph owns its contracted-intermediate cache: the result
+//! of the first Borůvka round, keyed by algorithm prefix. Under the
+//! `(weight, edge id)` total order the round-1 hooks are in the unique MSF
+//! of every algorithm, so a cached round is valid for all of them — the
+//! prefix key exists so a future round-k or algorithm-specific intermediate
+//! can live alongside without invalidating round-1 entries.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::sync::{Arc, Mutex};
+
+use msf_core::job::{boruvka_round, BoruvkaRound};
+use msf_graph::{binfmt, io, EdgeList};
+use msf_obs::metrics::{LazyCounter, LazyGauge};
+
+static REG_LOADS: LazyCounter = LazyCounter::new("serve.registry.loads");
+static REG_HITS: LazyCounter = LazyCounter::new("serve.registry.hits");
+static REG_MISSES: LazyCounter = LazyCounter::new("serve.registry.misses");
+static REG_RELOADS: LazyCounter = LazyCounter::new("serve.registry.reloads");
+static REG_EVICTIONS: LazyCounter = LazyCounter::new("serve.registry.evictions");
+static REG_BYTES: LazyGauge = LazyGauge::new("serve.registry.resident_bytes");
+static REG_GRAPHS: LazyGauge = LazyGauge::new("serve.registry.resident_graphs");
+static ROUND_HITS: LazyCounter = LazyCounter::new("serve.cache.round_hits");
+static ROUND_MISSES: LazyCounter = LazyCounter::new("serve.cache.round_misses");
+
+/// Load a graph from either format, sniffing the binary magic — the same
+/// dual-format entry the CLI uses, but errors are returned, not `exit(1)`:
+/// the daemon answers a bad path with a protocol error and keeps serving.
+pub fn load_graph_file(path: &str) -> Result<EdgeList, String> {
+    let is_bin = binfmt::is_binary_file(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let parsed = if is_bin {
+        binfmt::BinGraph::open(path).and_then(|bin| bin.to_edge_list())
+    } else {
+        File::open(path).and_then(|f| io::read_dimacs(BufReader::new(f)))
+    };
+    parsed.map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// A graph pinned in memory by the registry (and by any in-flight jobs),
+/// together with its contracted-intermediate cache.
+pub struct ResidentGraph {
+    /// Registry key.
+    pub name: String,
+    /// The edge list the kernels consume.
+    pub graph: EdgeList,
+    /// Estimated resident footprint (edge array + round cache, bytes).
+    bytes: u64,
+    rounds: Mutex<HashMap<String, Arc<BoruvkaRound>>>,
+}
+
+impl ResidentGraph {
+    fn new(name: String, graph: EdgeList) -> ResidentGraph {
+        let bytes = estimate_bytes(&graph);
+        ResidentGraph {
+            name,
+            graph,
+            bytes,
+            rounds: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Estimated bytes of the edge list alone (the round cache is bounded
+    /// by the same order and accounted against the same capacity).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The first Borůvka round for `prefix`, computed on miss and cached.
+    /// Returns the round and whether it was a cache hit. `bypass` computes
+    /// fresh without touching the cache (the `--no-cache` request flag).
+    pub fn first_round(&self, prefix: &str, bypass: bool) -> (Arc<BoruvkaRound>, bool) {
+        if bypass {
+            return (Arc::new(boruvka_round(&self.graph)), false);
+        }
+        if let Some(r) = self.rounds.lock().unwrap().get(prefix) {
+            ROUND_HITS.inc();
+            return (Arc::clone(r), true);
+        }
+        // Compute outside the lock: a second client missing concurrently
+        // duplicates work once rather than serializing behind a long round.
+        let fresh = Arc::new(boruvka_round(&self.graph));
+        let mut rounds = self.rounds.lock().unwrap();
+        let r = rounds
+            .entry(prefix.to_string())
+            .or_insert_with(|| Arc::clone(&fresh));
+        ROUND_MISSES.inc();
+        (Arc::clone(r), false)
+    }
+
+    /// Cached rounds currently held (for info/tests).
+    pub fn cached_rounds(&self) -> usize {
+        self.rounds.lock().unwrap().len()
+    }
+}
+
+fn estimate_bytes(g: &EdgeList) -> u64 {
+    // Edge = {u32, u32, f64, u32} → 24 bytes with alignment; vertices cost
+    // nothing here (EdgeList stores no per-vertex array), but kernels build
+    // adjacency on the fly, so charge a word per vertex as a safety margin.
+    g.num_edges() as u64 * 24 + g.num_vertices() as u64 * 8
+}
+
+struct Entry {
+    graph: Arc<ResidentGraph>,
+    last_used: u64,
+}
+
+struct Inner {
+    resident: HashMap<String, Entry>,
+    /// name → path, retained across eviction so evicted graphs reload.
+    paths: HashMap<String, String>,
+    clock: u64,
+    resident_bytes: u64,
+}
+
+/// The capacity-bounded name → graph map.
+pub struct Registry {
+    max_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// A registry holding at most `max_bytes` of estimated graph memory
+    /// (`u64::MAX` = unbounded). The most recent load is never evicted,
+    /// so a single graph larger than the cap still serves.
+    pub fn new(max_bytes: u64) -> Registry {
+        Registry {
+            max_bytes,
+            inner: Mutex::new(Inner {
+                resident: HashMap::new(),
+                paths: HashMap::new(),
+                clock: 0,
+                resident_bytes: 0,
+            }),
+        }
+    }
+
+    /// Load `path` under `name`. Returns the resident graph and whether
+    /// the file was actually read (`false` when already resident — loads
+    /// are idempotent and a re-load just bumps recency).
+    pub fn load(&self, name: &str, path: &str) -> Result<(Arc<ResidentGraph>, bool), String> {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.resident.get_mut(name) {
+                entry.last_used = clock;
+                let arc = Arc::clone(&entry.graph);
+                inner.paths.insert(name.to_string(), path.to_string());
+                REG_HITS.inc();
+                return Ok((arc, false));
+            }
+        }
+        // Read the file outside the lock — loads can take seconds and must
+        // not stall every other client's registry lookups.
+        let graph = load_graph_file(path)?;
+        let resident = Arc::new(ResidentGraph::new(name.to_string(), graph));
+        self.insert(name, path, Arc::clone(&resident));
+        REG_LOADS.inc();
+        Ok((resident, true))
+    }
+
+    /// Insert an already-built graph under `name` (in-process embedding:
+    /// the serve-mode bench entry and tests). No path is remembered, so an
+    /// eviction is final — `get` after evict errors instead of reloading.
+    pub fn put(&self, name: &str, graph: EdgeList) -> Arc<ResidentGraph> {
+        let resident = Arc::new(ResidentGraph::new(name.to_string(), graph));
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let bytes = resident.bytes();
+        if let Some(old) = inner.resident.insert(
+            name.to_string(),
+            Entry {
+                graph: Arc::clone(&resident),
+                last_used: clock,
+            },
+        ) {
+            inner.resident_bytes -= old.graph.bytes();
+            REG_BYTES.sub(old.graph.bytes());
+        } else {
+            REG_GRAPHS.add(1);
+        }
+        inner.resident_bytes += bytes;
+        REG_BYTES.add(bytes);
+        REG_LOADS.inc();
+        resident
+    }
+
+    /// The resident graph for `name`, reloading from the remembered path
+    /// if it was evicted. Returns the graph and whether a reload happened.
+    pub fn get(&self, name: &str) -> Result<(Arc<ResidentGraph>, bool), String> {
+        let path = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.resident.get_mut(name) {
+                entry.last_used = clock;
+                REG_HITS.inc();
+                return Ok((Arc::clone(&entry.graph), false));
+            }
+            REG_MISSES.inc();
+            inner.paths.get(name).cloned().ok_or_else(|| {
+                format!("unknown graph '{name}': load it first (op=load with a path)")
+            })?
+        };
+        let graph = load_graph_file(&path)
+            .map_err(|e| format!("graph '{name}' was evicted and its file is gone: {e}"))?;
+        let resident = Arc::new(ResidentGraph::new(name.to_string(), graph));
+        self.insert(name, &path, Arc::clone(&resident));
+        REG_RELOADS.inc();
+        Ok((resident, true))
+    }
+
+    fn insert(&self, name: &str, path: &str, resident: Arc<ResidentGraph>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let bytes = resident.bytes();
+        // A racing load of the same name: keep the incumbent's recency,
+        // replace the graph (last writer wins; both Arcs stay valid).
+        if let Some(old) = inner.resident.insert(
+            name.to_string(),
+            Entry {
+                graph: resident,
+                last_used: clock,
+            },
+        ) {
+            inner.resident_bytes -= old.graph.bytes();
+            REG_BYTES.sub(old.graph.bytes());
+        } else {
+            REG_GRAPHS.add(1);
+        }
+        inner.resident_bytes += bytes;
+        REG_BYTES.add(bytes);
+        inner.paths.insert(name.to_string(), path.to_string());
+        // Evict least-recently-used graphs until under capacity. The entry
+        // just inserted is the most recent, so it survives even when it is
+        // alone over the cap.
+        while inner.resident_bytes > self.max_bytes && inner.resident.len() > 1 {
+            let victim = inner
+                .resident
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("len > 1");
+            let entry = inner.resident.remove(&victim).expect("present");
+            inner.resident_bytes -= entry.graph.bytes();
+            REG_BYTES.sub(entry.graph.bytes());
+            REG_GRAPHS.sub(1);
+            REG_EVICTIONS.inc();
+        }
+    }
+
+    /// Drop `name` from residency (the path is remembered for reload).
+    /// Returns whether it was resident. In-flight jobs holding the `Arc`
+    /// are unaffected.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.resident.remove(name) {
+            Some(entry) => {
+                inner.resident_bytes -= entry.graph.bytes();
+                REG_BYTES.sub(entry.graph.bytes());
+                REG_GRAPHS.sub(1);
+                REG_EVICTIONS.inc();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Residency peek without touching recency: `Some(bytes)` when
+    /// resident.
+    pub fn resident_bytes_of(&self, name: &str) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .resident
+            .get(name)
+            .map(|e| e.graph.bytes())
+    }
+
+    /// Graphs currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().resident.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total estimated resident bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().resident_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn write_dimacs(
+        dir: &std::path::Path,
+        name: &str,
+        n: usize,
+        edges: &[(u32, u32, f64)],
+    ) -> String {
+        let path = dir.join(name);
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "p sp {} {}", n, edges.len()).unwrap();
+        for &(u, v, w) in edges {
+            writeln!(f, "a {} {} {}", u + 1, v + 1, w).unwrap();
+        }
+        path.to_str().unwrap().to_string()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("msf-registry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_is_idempotent_and_get_reloads_after_evict() {
+        let dir = temp_dir("reload");
+        let path = write_dimacs(&dir, "tri.gr", 3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]);
+        let reg = Registry::new(u64::MAX);
+
+        let (g1, fresh) = reg.load("tri", &path).unwrap();
+        assert!(fresh);
+        assert_eq!(g1.graph.num_edges(), 3);
+        let (g2, fresh) = reg.load("tri", &path).unwrap();
+        assert!(!fresh, "second load is a residency hit");
+        assert!(Arc::ptr_eq(&g1, &g2));
+
+        assert!(reg.evict("tri"));
+        assert!(!reg.evict("tri"), "double evict is a no-op");
+        assert_eq!(reg.len(), 0);
+        // The Arc held above keeps the old instance alive and usable.
+        assert_eq!(g1.graph.num_vertices(), 3);
+
+        let (g3, reloaded) = reg.get("tri").unwrap();
+        assert!(reloaded, "evicted graph reloads from the remembered path");
+        assert!(!Arc::ptr_eq(&g1, &g3));
+        assert!(reg.get("nope").is_err(), "never-loaded name is an error");
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_graphs_within_capacity() {
+        let dir = temp_dir("lru");
+        let edges: Vec<(u32, u32, f64)> = (0..9u32).map(|i| (i, i + 1, i as f64)).collect();
+        let a = write_dimacs(&dir, "a.gr", 10, &edges);
+        let b = write_dimacs(&dir, "b.gr", 10, &edges);
+        let c = write_dimacs(&dir, "c.gr", 10, &edges);
+        // Each graph estimates 9*24 + 10*8 = 296 bytes; cap fits two.
+        let reg = Registry::new(600);
+
+        reg.load("a", &a).unwrap();
+        reg.load("b", &b).unwrap();
+        assert_eq!(reg.len(), 2);
+        // Touch a so b becomes the LRU victim.
+        reg.get("a").unwrap();
+        reg.load("c", &c).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.resident_bytes_of("a").is_some());
+        assert!(reg.resident_bytes_of("b").is_none(), "b was evicted");
+        assert!(reg.resident_bytes_of("c").is_some());
+        assert!(reg.resident_bytes() <= 600);
+
+        // b still serves via reload.
+        let (gb, reloaded) = reg.get("b").unwrap();
+        assert!(reloaded);
+        assert_eq!(gb.graph.num_edges(), 9);
+    }
+
+    #[test]
+    fn round_cache_hits_after_first_compute() {
+        let dir = temp_dir("rounds");
+        let path = write_dimacs(
+            &dir,
+            "sq.gr",
+            4,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)],
+        );
+        let reg = Registry::new(u64::MAX);
+        let (g, _) = reg.load("sq", &path).unwrap();
+
+        let (r1, hit) = g.first_round("boruvka1", false);
+        assert!(!hit, "first request computes");
+        let (r2, hit) = g.first_round("boruvka1", true);
+        assert!(!hit, "bypass never hits");
+        assert!(!Arc::ptr_eq(&r1, &r2));
+        let (r3, hit) = g.first_round("boruvka1", false);
+        assert!(hit, "second request hits");
+        assert!(Arc::ptr_eq(&r1, &r3));
+        assert_eq!(g.cached_rounds(), 1);
+    }
+}
