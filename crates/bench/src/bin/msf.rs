@@ -74,7 +74,7 @@ fn usage() -> ! {
          |stats|shutdown> [--algo NAME] [--threads P] [--paranoid] [--no-cache]\n\n\
          <graph> is DIMACS (.gr) or msfb binary — detected by content, not extension\n\
          algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc\n            \
-         bor-write-min sf-hook"
+         bor-write-min sf-hook filter-kruskal"
     );
     std::process::exit(2);
 }
@@ -931,6 +931,15 @@ fn bench(args: &[String]) {
         obs::metrics::LazyCounter::new("unionfind.hook.cas_retry");
     WRITE_MIN_RETRY.add(0);
     HOOK_RETRY.add(0);
+    // Likewise the bandwidth-accounting pair: the fused-kernel byte counter
+    // and the per-round live-supervertex histogram always appear in the
+    // report, even for a sweep that never enters a fused sweep (MSF_UNFUSED).
+    static FUSED_BYTES: obs::metrics::LazyCounter =
+        obs::metrics::LazyCounter::new("kernel.fused_bytes_read");
+    static ROUND_LIVE: obs::metrics::LazyHistogram =
+        obs::metrics::LazyHistogram::new("boruvka.round_live_vertices");
+    FUSED_BYTES.add(0);
+    ROUND_LIVE.touch();
 
     let scale_name = match scale {
         msf_bench::Scale::Large => "large",
@@ -1147,10 +1156,13 @@ fn bench(args: &[String]) {
             ));
             doc.push_str("          \"runs\": [\n");
             for (ri, (m, est)) in sweep.iter().enumerate() {
+                // Schema v3: the in-memory compute representation is always
+                // narrow here (EdgeList cells), and the kernel mode records
+                // whether the fused sweeps were active for this process.
                 doc.push_str(&format!(
                     "            {{\"p\": {}, \"wall_seconds\": {:.6}, \"est_seconds\": {:.6}, \
                      \"modeled_cost\": {}, \"modeled_deterministic\": {}, \"forest_edges\": {}, \
-                     \"total_weight\": {:.6}}}{}\n",
+                     \"total_weight\": {:.6}, \"width\": \"u32\", \"fused\": {}}}{}\n",
                     m.threads,
                     m.wall_seconds,
                     est,
@@ -1158,6 +1170,7 @@ fn bench(args: &[String]) {
                     deterministic,
                     m.result.edges.len(),
                     m.result.total_weight,
+                    !msf_primitives::fused::unfused(),
                     if ri + 1 < sweep.len() { "," } else { "" }
                 ));
             }

@@ -21,8 +21,9 @@ use std::collections::BTreeMap;
 
 use crate::json::Json;
 
-/// Newest `msf bench --json` schema this reader understands.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Newest `msf bench --json` schema this reader understands. v3 added the
+/// per-run representation width (`"width"`) and kernel mode (`"fused"`).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One `(graph, algorithm, p)` measurement extracted from a report.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +42,15 @@ pub struct Cell {
     pub modeled_deterministic: bool,
     /// Forest size — a correctness canary riding along.
     pub forest_edges: u64,
+    /// Vertex representation width of the run (`"u32"` or `"u64"`; v2
+    /// reports predate the field and default to `"u32"`).
+    pub width: String,
+    /// Whether the run used the fused contraction kernels. Pre-v3 reports
+    /// ran the multi-pass code and default to `false`. A fused-mode
+    /// mismatch between baseline and candidate is informational, never an
+    /// error: comparing the modes is exactly what the fused-vs-unfused
+    /// self-compare CI job does.
+    pub fused: bool,
 }
 
 impl Cell {
@@ -194,8 +204,8 @@ impl RegressReport {
     }
 }
 
-/// Pull the cells out of a parsed report, tolerating both schema v1 (no
-/// `schema_version` field, no metrics) and v2 documents.
+/// Pull the cells out of a parsed report, tolerating schema v1 (no
+/// `schema_version` field, no metrics), v2, and v3 documents.
 pub fn extract_cells(doc: &Json) -> Result<Vec<Cell>, String> {
     let version = doc
         .get("schema_version")
@@ -239,6 +249,12 @@ pub fn extract_cells(doc: &Json) -> Result<Vec<Cell>, String> {
                         .and_then(Json::as_bool)
                         .unwrap_or(aname != "MST-BC"),
                     forest_edges: need("forest_edges")? as u64,
+                    width: run
+                        .get("width")
+                        .and_then(Json::as_str)
+                        .unwrap_or("u32")
+                        .to_string(),
+                    fused: run.get("fused").and_then(Json::as_bool).unwrap_or(false),
                 });
             }
         }
@@ -455,6 +471,38 @@ mod tests {
         assert!(compare(&base, &cand, &RegressConfig::default())
             .unwrap_err()
             .contains("seed"));
+    }
+
+    #[test]
+    fn v3_width_and_fused_extract_and_mode_mismatch_is_not_an_error() {
+        let v3 = |fused: bool| {
+            Json::parse(&format!(
+                "{{\"suite\": \"msf-bench\", \"schema_version\": 3, \"scale\": \"smoke\", \
+                 \"n\": 10000, \"seed\": 1, \"graphs\": [{{\"name\": \"g\", \"algorithms\": \
+                 [{{\"algorithm\": \"Bor-WriteMin\", \"runs\": [{{\"p\": 2, \
+                 \"wall_seconds\": 0.1, \"modeled_cost\": 5, \"modeled_deterministic\": true, \
+                 \"forest_edges\": 3, \"width\": \"u32\", \"fused\": {fused}}}]}}]}}]}}"
+            ))
+            .unwrap()
+        };
+        let cells = extract_cells(&v3(true)).unwrap();
+        assert_eq!(cells[0].width, "u32");
+        assert!(cells[0].fused);
+        // Baseline unfused vs candidate fused: same work model, same
+        // forest — compares clean, the mode is metadata, not a key.
+        let r = compare(&v3(false), &v3(true), &RegressConfig::default()).unwrap();
+        assert_eq!(r.regressions(), 0);
+        assert_eq!(r.deltas.len(), 1);
+    }
+
+    #[test]
+    fn newer_schema_is_refused() {
+        let v99 = Json::parse(
+            "{\"suite\": \"msf-bench\", \"schema_version\": 99, \"scale\": \"smoke\", \
+             \"n\": 1, \"seed\": 1, \"graphs\": []}",
+        )
+        .unwrap();
+        assert!(extract_cells(&v99).unwrap_err().contains("newer"));
     }
 
     #[test]

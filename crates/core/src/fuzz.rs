@@ -101,7 +101,7 @@ pub struct FuzzReport {
     pub failures: Vec<FuzzFailure>,
 }
 
-const ALGO_SLUGS: [(&str, Algorithm); 12] = [
+const ALGO_SLUGS: [(&str, Algorithm); 13] = [
     ("prim", Algorithm::Prim),
     ("kruskal", Algorithm::Kruskal),
     ("boruvka", Algorithm::Boruvka),
@@ -114,6 +114,7 @@ const ALGO_SLUGS: [(&str, Algorithm); 12] = [
     ("mst-bc", Algorithm::MstBc),
     ("bor-write-min", Algorithm::BorWriteMin),
     ("sf-hook", Algorithm::SfHook),
+    ("filter-kruskal", Algorithm::FilterKruskal),
 ];
 
 fn slug_of(a: Algorithm) -> &'static str {

@@ -14,6 +14,7 @@
 //! | MST-BC (concurrent Prim + Borůvka hybrid)| 4  | [`par::mst_bc`] |
 //! | Bor-WriteMin (lock-free write-min filter-Borůvka) | — | [`par::bor_write_min`] |
 //! | SF-Hook (CAS-hook front-end + cycle filter)       | — | [`par::sf_hook`] |
+//! | Filter-Kruskal (sampling pivot + union-find filter)| — | [`par::filter_kruskal`] |
 //!
 //! Every algorithm solves the minimum spanning **forest** problem and, with
 //! the `(weight, edge id)` total order, produces exactly the same edge set —
@@ -67,11 +68,15 @@ pub enum Algorithm {
     /// minimum edge into a concurrent union-find, then finishes with the
     /// sampling + cycle-property filter over the reduced graph.
     SfHook,
+    /// Sampling filter-Kruskal: pivot-partition the edge list, recurse on
+    /// the light side, prune the heavy side through a concurrent union-find
+    /// (the cycle property again), recurse on the survivors.
+    FilterKruskal,
 }
 
 impl Algorithm {
     /// All algorithms, sequential baselines first.
-    pub const ALL: [Algorithm; 12] = [
+    pub const ALL: [Algorithm; 13] = [
         Algorithm::Prim,
         Algorithm::Kruskal,
         Algorithm::Boruvka,
@@ -84,11 +89,12 @@ impl Algorithm {
         Algorithm::MstBc,
         Algorithm::BorWriteMin,
         Algorithm::SfHook,
+        Algorithm::FilterKruskal,
     ];
 
     /// The parallel algorithms compared in the paper's Figs. 4–6, plus the
     /// lock-free speed contenders adjudicated against them.
-    pub const PARALLEL: [Algorithm; 7] = [
+    pub const PARALLEL: [Algorithm; 8] = [
         Algorithm::BorEl,
         Algorithm::BorAl,
         Algorithm::BorAlm,
@@ -96,6 +102,7 @@ impl Algorithm {
         Algorithm::MstBc,
         Algorithm::BorWriteMin,
         Algorithm::SfHook,
+        Algorithm::FilterKruskal,
     ];
 
     /// The CLI/wire slug (lower-case, hyphenated; `parse` inverts it).
@@ -113,6 +120,7 @@ impl Algorithm {
             Algorithm::MstBc => "mst-bc",
             Algorithm::BorWriteMin => "bor-write-min",
             Algorithm::SfHook => "sf-hook",
+            Algorithm::FilterKruskal => "filter-kruskal",
         }
     }
 
@@ -137,6 +145,7 @@ impl Algorithm {
             Algorithm::MstBc => "MST-BC",
             Algorithm::BorWriteMin => "Bor-WriteMin",
             Algorithm::SfHook => "SF-Hook",
+            Algorithm::FilterKruskal => "Filter-Kruskal",
         }
     }
 }
@@ -279,6 +288,7 @@ fn dispatch(g: &EdgeList, algorithm: Algorithm, cfg: &MsfConfig) -> MsfResult {
         Algorithm::MstBc => par::mst_bc::msf(g, cfg),
         Algorithm::BorWriteMin => par::bor_write_min::msf(g, cfg),
         Algorithm::SfHook => par::sf_hook::msf(g, cfg),
+        Algorithm::FilterKruskal => par::filter_kruskal::msf(g, cfg),
     }
 }
 

@@ -239,6 +239,14 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig, policy: AllocPolicy) -> MsfResult {
             &mut spare,
             &mut cg_meters,
         );
+        // compact-graph is already a fused relabel+filter sweep (each
+        // surviving entry is read exactly once, relabeled, and written into
+        // the next generation), so it participates in the suite-wide
+        // bandwidth accounting: one read of the old generation plus one
+        // write of the new one (DESIGN.md §15).
+        msf_primitives::fused::record_traffic(
+            ((directed_edges + next.total_entries()) * std::mem::size_of::<AdjEntry>()) as u64,
+        );
         let old = std::mem::replace(&mut lists, next);
         if let Lists::Arena { storage, .. } = old {
             // Recycle the displaced generation's arenas and scratch buffers.

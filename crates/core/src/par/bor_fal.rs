@@ -71,6 +71,13 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
         let mut cg_meter = WorkMeter::new();
         cg_meter.ops(n as u64); // membership moves
         cg_meter.mem(flex.labels().len() as u64 / p as u64 + 1); // table rewrite
+
+        // Bor-FAL's compact never touches edge data — its entire bandwidth
+        // bill is the membership moves plus the u32 lookup-table rewrite
+        // (one read of the old label, one write of the new), which is why it
+        // shows the smallest kernel.fused_bytes_read of the Borůvka family
+        // (DESIGN.md §15).
+        msf_primitives::fused::record_traffic((8 * flex.labels().len() + 4 * n) as u64);
         flex.compact(&labels, k as usize);
         it.compact = step.finish(
             &vec![

@@ -19,6 +19,26 @@
 //!    array stays in original-id order forever (the property the base case
 //!    leans on).
 //!
+//! **The fused hot path** (default; `MSF_UNFUSED=1` selects the retained
+//! multi-pass shape in [`msf_unfused`]) reads each surviving edge once per
+//! round instead of twice-plus:
+//!
+//! * round 0 races directly over the input edge array — [`EdgeList`]
+//!   admits no self-loops, so the setup copy of the undirected list the
+//!   multi-pass shape makes is pure bandwidth and is never materialized;
+//! * each compact sweep relabels, filters, writes the compacted survivor —
+//!   **and runs the next round's write-min race on it in the same read**.
+//!   The race value is the edge's index into the *pre-contraction* array
+//!   (immutable during the sweep, so the key closure never aliases the
+//!   output being staged); the next find-min merely harvests the quiescent
+//!   slots, translating winner endpoints through that round's labels.
+//!
+//! The race outcome is the same either way — identical candidate set,
+//! identical keys — and every modeled charge is a pure function of
+//! `(m, n, p)` attributed to the same steps, so fused and unfused runs
+//! produce bit-identical forests at exactly equal modeled cost; only the
+//! DRAM traffic differs. See DESIGN.md §15 for the dataflow.
+//!
 //! The recursion bottoms out on a sequential Kruskal over the contracted
 //! multigraph once few edges survive, amortizing the long tail of tiny
 //! rounds. Because every pass preserves relative edge order and original
@@ -27,8 +47,8 @@
 //! output is the suite-wide unique forest, bit-identical at every thread
 //! count and under `MSF_SEQUENTIAL`.
 
-use msf_graph::EdgeList;
-use msf_primitives::atomic::EMPTY;
+use msf_graph::{Edge, EdgeList};
+use msf_primitives::atomic::{packed_edge_key, MinSlots, EMPTY};
 use msf_primitives::cost::{Stopwatch, WorkMeter};
 use msf_primitives::obs;
 use rayon::prelude::*;
@@ -46,6 +66,211 @@ const BASE_CASE_EDGES: usize = 256;
 
 /// Compute the MSF with Bor-WriteMin.
 pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
+    if msf_primitives::fused::unfused() {
+        msf_unfused(g, cfg)
+    } else {
+        msf_fused(g, cfg)
+    }
+}
+
+/// This round's edge array: round 0 reads the input graph in place (the
+/// fused path never copies it); later rounds own their filtered list.
+enum Round<'a> {
+    Input(&'a [Edge]),
+    Owned(Vec<Edge>),
+}
+
+impl Round<'_> {
+    #[inline]
+    fn edges(&self) -> &[Edge] {
+        match self {
+            Round::Input(s) => s,
+            Round::Owned(v) => v,
+        }
+    }
+}
+
+/// The fused hot path: one read of each surviving edge per round.
+fn msf_fused(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
+    let p = cfg.threads.max(1);
+    let watch = Stopwatch::start();
+    let mut stats = RunStats::new("Bor-WriteMin", p);
+
+    // Setup. The multi-pass shape copies the undirected list here; the
+    // input list already carries no self-loops, so this path races round 0
+    // over it in place and only charges the copy's modeled cost (one read
+    // per edge per block — the identical formula `collect_undirected`
+    // charges).
+    let setup = StepSpan::begin(StepKind::Setup, 0);
+    let mut setup_meters = vec![WorkMeter::new(); p];
+    let all = g.edges();
+    for (t, m) in setup_meters.iter_mut().enumerate() {
+        m.mem(msf_primitives::block_range(all.len(), p, t).len() as u64);
+    }
+    stats.add_flat_cost(setup.finish(&setup_meters, PHASE_OVERHEAD).modeled_max);
+
+    let mut n = g.num_vertices();
+    let mut out: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
+
+    let mut cur = Round::Input(all);
+    // The race already run over `cur` by the previous compact sweep: the
+    // quiescent slots, the pre-contraction array their values index, and
+    // the labels translating that array's endpoints into `cur`'s space.
+    let mut pending: Option<(MinSlots, Round, Vec<u32>)> = None;
+
+    while !cur.edges().is_empty() {
+        if cur.edges().len() <= BASE_CASE_EDGES {
+            base_case(n, cur.edges(), &mut out, &mut stats);
+            break;
+        }
+        let m_cur = cur.edges().len();
+        let mut it = IterationStats {
+            vertices: n,
+            directed_edges: 2 * m_cur,
+            ..Default::default()
+        };
+        let _iteration = obs::span(
+            obs::SpanKind::Iteration,
+            stats.iterations.len() as u64,
+            n as u64,
+        );
+
+        // Step 1: find-min. Round 0 races here; later rounds raced during
+        // the previous compact sweep and only harvest the winners, charging
+        // the standalone race's exact formula (slot init amortized over the
+        // blocks, two atomic RMWs per surviving edge) where the RMWs were
+        // actually issued on this step's behalf.
+        let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
+        let mut fm_meters = vec![WorkMeter::new(); p];
+        let (chosen, to) = match pending.take() {
+            None => {
+                let slots = write_min_race(cur.edges(), n, p, &mut fm_meters);
+                harvest(cur.edges(), &slots, n, p, &mut fm_meters, |e, v| {
+                    (e.id, e.other(v))
+                })
+            }
+            Some((slots, prev, prev_labels)) => {
+                for (t, m) in fm_meters.iter_mut().enumerate() {
+                    m.mem(
+                        (n / p) as u64
+                            + 1
+                            + 2 * msf_primitives::block_range(m_cur, p, t).len() as u64,
+                    );
+                }
+                harvest(prev.edges(), &slots, n, p, &mut fm_meters, |e, v| {
+                    let (lu, lv) = (prev_labels[e.u as usize], prev_labels[e.v as usize]);
+                    (e.id, if lu == v { lv } else { lu })
+                })
+            }
+        };
+        emit_unique(&mut out, chosen);
+        it.find_min = step.finish(&fm_meters, PHASE_OVERHEAD);
+
+        // Step 2: star-contract the pseudo-forest (deterministic rule:
+        // mutual pairs break at the smaller index, then pointer jumping).
+        let step = StepSpan::begin(StepKind::Connect, stats.iterations.len());
+        let mut cc_meters = vec![WorkMeter::new(); p];
+        let (labels, k) = connect_components(to, p, &mut cc_meters);
+        it.connect = step.finish(&cc_meters, PHASE_OVERHEAD);
+
+        // Step 3: the fused compact sweep — relabel, drop self-loops, write
+        // the compacted survivor, and run the NEXT round's write-min race,
+        // all in one read of each edge. The race values index the immutable
+        // `cur` array, so the key closure never touches the output being
+        // staged; the RMWs are attributed to the next find-min (above),
+        // this step charging only the multi-pass compact's two label reads
+        // per edge.
+        let step = StepSpan::begin(StepKind::Compact, stats.iterations.len());
+        let mut cg_meters = vec![WorkMeter::new(); p];
+        for (t, m) in cg_meters.iter_mut().enumerate() {
+            m.mem(2 * msf_primitives::block_range(m_cur, p, t).len() as u64);
+        }
+        let slots_next = crate::par::common::min_slots_here(k as usize);
+        let next = {
+            let cur_edges = cur.edges();
+            let key = |i: u64| {
+                let e = &cur_edges[i as usize];
+                packed_edge_key(e.w, e.id)
+            };
+            msf_primitives::fused::filter_relabel_compact(
+                cur_edges,
+                p,
+                Edge::new(0, 0, 0.0, 0),
+                |i, e| {
+                    let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
+                    if lu == lv {
+                        return None;
+                    }
+                    slots_next.write_min_by(lu as usize, i as u64, key);
+                    slots_next.write_min_by(lv as usize, i as u64, key);
+                    Some(Edge::new(lu, lv, e.w, e.id))
+                },
+            )
+        };
+        msf_primitives::fused::record_traffic(8 * m_cur as u64);
+        it.compact = step.finish(&cg_meters, PHASE_OVERHEAD);
+
+        pending = Some((slots_next, cur, labels));
+        cur = Round::Owned(next);
+        n = k as usize;
+
+        stats.push_iteration(it);
+        if n <= 1 {
+            break;
+        }
+    }
+
+    stats.total_seconds = watch.seconds();
+    MsfResult::from_ids(g, out, stats)
+}
+
+/// Walk the quiescent slots in `p` metered blocks (one read per vertex).
+/// `edges` is the array the slot values index; `decode(edge, v)` maps a
+/// vertex's winning edge to `(forest id, hook target)` in `v`'s own vertex
+/// space. Vertices with empty slots hook to themselves.
+fn harvest(
+    edges: &[Edge],
+    slots: &MinSlots,
+    n: usize,
+    p: usize,
+    meters: &mut [WorkMeter],
+    decode: impl Fn(&Edge, u32) -> (u32, u32) + Sync,
+) -> (Vec<u32>, Vec<u32>) {
+    let parts: Vec<(Vec<u32>, Vec<u32>, WorkMeter)> = (0..p)
+        .into_par_iter()
+        .map(|t| {
+            let r = msf_primitives::block_range(n, p, t);
+            let mut meter = WorkMeter::new();
+            let mut chosen = Vec::new();
+            let mut to = Vec::with_capacity(r.len());
+            for v in r {
+                meter.mem(1);
+                let s = slots.get(v);
+                if s == EMPTY {
+                    to.push(v as u32);
+                } else {
+                    let (id, target) = decode(&edges[s as usize], v as u32);
+                    chosen.push(id);
+                    to.push(target);
+                }
+            }
+            (chosen, to, meter)
+        })
+        .collect();
+    let mut chosen = Vec::new();
+    let mut to = Vec::with_capacity(n);
+    for (t, (c, t_part, m)) in parts.into_iter().enumerate() {
+        meters[t] = meters[t] + m;
+        chosen.extend_from_slice(&c);
+        to.extend_from_slice(&t_part);
+    }
+    (chosen, to)
+}
+
+/// The retained multi-pass shape (`MSF_UNFUSED=1`): standalone setup copy,
+/// race pass, harvest, connect, separate relabel+filter pass — the
+/// differential baseline the fused path is proven against.
+fn msf_unfused(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
     let watch = Stopwatch::start();
     let p = cfg.threads.max(1);
     let mut stats = RunStats::new("Bor-WriteMin", p);
@@ -80,34 +305,9 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
         let step = StepSpan::begin(StepKind::FindMin, stats.iterations.len());
         let mut fm_meters = vec![WorkMeter::new(); p];
         let slots = write_min_race(&edges, n, p, &mut fm_meters);
-        let parts: Vec<(Vec<u32>, Vec<u32>, WorkMeter)> = (0..p)
-            .into_par_iter()
-            .map(|t| {
-                let r = msf_primitives::block_range(n, p, t);
-                let mut meter = WorkMeter::new();
-                let mut chosen = Vec::new();
-                let mut to = Vec::with_capacity(r.len());
-                for v in r {
-                    meter.mem(1);
-                    let s = slots.get(v);
-                    if s == EMPTY {
-                        to.push(v as u32);
-                    } else {
-                        let e = &edges[s as usize];
-                        chosen.push(e.id);
-                        to.push(e.other(v as u32));
-                    }
-                }
-                (chosen, to, meter)
-            })
-            .collect();
-        let mut chosen = Vec::new();
-        let mut to = Vec::with_capacity(n);
-        for (t, (c, t_part, m)) in parts.into_iter().enumerate() {
-            fm_meters[t] = fm_meters[t] + m;
-            chosen.extend_from_slice(&c);
-            to.extend_from_slice(&t_part);
-        }
+        let (chosen, to) = harvest(&edges, &slots, n, p, &mut fm_meters, |e, v| {
+            (e.id, e.other(v))
+        });
         emit_unique(&mut out, chosen);
         it.find_min = step.finish(&fm_meters, PHASE_OVERHEAD);
 
@@ -139,7 +339,7 @@ pub fn msf(g: &EdgeList, cfg: &MsfConfig) -> MsfResult {
 /// Sequential Kruskal over the contracted multigraph. Relative edge order
 /// equals original-id order (every pass is order-preserving), so the
 /// remapped position ids tie-break exactly like the originals.
-fn base_case(n: usize, edges: &[msf_graph::Edge], out: &mut Vec<u32>, stats: &mut RunStats) {
+fn base_case(n: usize, edges: &[Edge], out: &mut Vec<u32>, stats: &mut RunStats) {
     let step = StepSpan::begin(StepKind::BaseCase, stats.iterations.len());
     let ids: Vec<u32> = edges.iter().map(|e| e.id).collect();
     let sub = EdgeList::from_triples(n, edges.iter().map(|e| (e.u, e.v, e.w)).collect::<Vec<_>>());
@@ -260,5 +460,25 @@ mod tests {
         let seq = msf_primitives::pool::with_sequential(|| msf(&g, &cfg(4)));
         assert_eq!(pooled.edges, seq.edges);
         assert_eq!(pooled.total_weight.to_bits(), seq.total_weight.to_bits());
+    }
+
+    #[test]
+    fn fused_and_unfused_agree_in_forest_and_model() {
+        let g = random_graph(&GeneratorConfig::with_seed(23), 5_000, 20_000);
+        for p in [1, 3, 8] {
+            let fused = msf_primitives::fused::with_unfused(false, || msf(&g, &cfg(p)));
+            let unfused = msf_primitives::fused::with_unfused(true, || msf(&g, &cfg(p)));
+            assert_eq!(fused.edges, unfused.edges, "p {p}");
+            assert_eq!(
+                fused.total_weight.to_bits(),
+                unfused.total_weight.to_bits(),
+                "p {p}"
+            );
+            assert_eq!(
+                fused.stats.modeled_cost, unfused.stats.modeled_cost,
+                "p {p}"
+            );
+            assert_eq!(fused.stats.iterations.len(), unfused.stats.iterations.len());
+        }
     }
 }

@@ -71,6 +71,14 @@ pub(crate) fn connect_components_from_roots(
 
 /// Relabel endpoints through `labels` and drop self-loops, in `p` metered
 /// blocks. The surviving edges keep their weight and original id.
+///
+/// Dispatches between the fused single-sweep kernel
+/// ([`msf_primitives::fused::filter_relabel_compact`]) and the retained
+/// multi-pass formulation (`MSF_UNFUSED=1`). Both paths produce the exact
+/// same survivors in the exact same order and charge the exact same
+/// modeled cost — two scattered lookup-table reads per edge — which is
+/// what lets the differential suite demand bit-identical forests *and*
+/// equal modeled costs between modes.
 pub(crate) fn relabel_and_filter(
     edges: &[Edge],
     labels: &[u32],
@@ -78,28 +86,39 @@ pub(crate) fn relabel_and_filter(
     meters: &mut [WorkMeter],
 ) -> Vec<Edge> {
     let p = p.max(1);
-    let parts: Vec<(Vec<Edge>, WorkMeter)> = (0..p)
-        .into_par_iter()
-        .map(|t| {
-            let r = msf_primitives::block_range(edges.len(), p, t);
-            let mut meter = WorkMeter::new();
-            let mut out = Vec::with_capacity(r.len());
-            for e in &edges[r] {
-                // Two scattered lookup-table reads per edge.
-                meter.mem(2);
-                let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
-                if lu != lv {
-                    out.push(Edge::new(lu, lv, e.w, e.id));
-                }
-            }
-            (out, meter)
-        })
-        .collect();
-    let mut out = Vec::with_capacity(edges.len());
-    for (t, (part, m)) in parts.into_iter().enumerate() {
-        meters[t] = meters[t] + m;
-        out.extend_from_slice(&part);
+    for (t, m) in meters.iter_mut().enumerate().take(p) {
+        m.mem(2 * msf_primitives::block_range(edges.len(), p, t).len() as u64);
     }
+    if msf_primitives::fused::unfused() {
+        // Multi-pass path: per-block staging vectors, then a serial splice.
+        let parts: Vec<Vec<Edge>> = (0..p)
+            .into_par_iter()
+            .map(|t| {
+                let r = msf_primitives::block_range(edges.len(), p, t);
+                let mut out = Vec::with_capacity(r.len());
+                for e in &edges[r] {
+                    let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
+                    if lu != lv {
+                        out.push(Edge::new(lu, lv, e.w, e.id));
+                    }
+                }
+                out
+            })
+            .collect();
+        let mut out = Vec::with_capacity(edges.len());
+        for part in parts {
+            out.extend_from_slice(&part);
+        }
+        return out;
+    }
+    let out =
+        msf_primitives::fused::filter_relabel_compact(edges, p, Edge::new(0, 0, 0.0, 0), |_, e| {
+            let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
+            (lu != lv).then(|| Edge::new(lu, lv, e.w, e.id))
+        });
+    // The kernel records the edge sweep; the two u32 label-table reads per
+    // edge are side-band traffic it cannot see.
+    msf_primitives::fused::record_traffic(8 * edges.len() as u64);
     out
 }
 
@@ -267,6 +286,26 @@ pub(crate) fn collect_undirected(g: &EdgeList, p: usize, meters: &mut [WorkMeter
     out
 }
 
+/// Whether every write of a rayon-facade race is guaranteed to run on the
+/// calling thread: the sequential escape hatch is on, or the pool has a
+/// single worker (fork/join then runs inline). This is the soundness
+/// condition for [`MinSlots::new_single_writer`]'s plain path — note it is
+/// about the *pool*, not the host: an `SmpTeam` leases real threads at any
+/// pool width and never qualifies.
+pub(crate) fn single_writer_here() -> bool {
+    msf_primitives::pool::sequential_here() || msf_primitives::pool::width() == 1
+}
+
+/// [`MinSlots`] sized `n`, in single-writer mode when the calling context
+/// guarantees one writer ([`single_writer_here`]).
+pub(crate) fn min_slots_here(n: usize) -> MinSlots {
+    if single_writer_here() {
+        MinSlots::new_single_writer(n)
+    } else {
+        MinSlots::new(n)
+    }
+}
+
 /// The per-endpoint write-min race (parlaylib `boruvka.h`): every edge
 /// lowers both endpoints' slots to its own index under the packed
 /// `(weight bits, edge id)` key, so the quiescent slots hold each vertex's
@@ -279,7 +318,7 @@ pub(crate) fn write_min_race(
     meters: &mut [WorkMeter],
 ) -> MinSlots {
     let p = p.max(1);
-    let slots = MinSlots::new(n);
+    let slots = min_slots_here(n);
     let key = |i: u64| {
         let e = &edges[i as usize];
         packed_edge_key(e.w, e.id)

@@ -1,5 +1,5 @@
 //! The four parallel Borůvka variants (§2), the new MST-BC hybrid (§4), and
-//! the lock-free speed contenders (Bor-WriteMin, SF-Hook).
+//! the lock-free speed contenders (Bor-WriteMin, SF-Hook, Filter-Kruskal).
 
 pub mod bor_al;
 pub mod bor_dense;
@@ -8,5 +8,7 @@ pub mod bor_fal;
 pub mod bor_write_min;
 pub(crate) mod common;
 pub mod filter;
+pub mod filter_kruskal;
 pub mod mst_bc;
 pub mod sf_hook;
+pub mod wide;

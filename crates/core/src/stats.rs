@@ -250,6 +250,13 @@ impl RunStats {
     pub fn push_iteration(&mut self, it: IterationStats) {
         use obs::metrics::LazyHistogram;
         static SHRINK: LazyHistogram = LazyHistogram::new("boruvka.shrink_permille");
+        // Absolute companion to the shrink ratio: how many supervertices
+        // were alive entering each round. Together with
+        // `kernel.fused_bytes_read` this is the bandwidth-accounting pair —
+        // live vertices say how large the round's frontier was, fused bytes
+        // say what the contraction sweeps paid to shrink it.
+        static LIVE: LazyHistogram = LazyHistogram::new("boruvka.round_live_vertices");
+        LIVE.record(it.vertices as u64);
         if let Some(prev) = self.iterations.last() {
             if prev.vertices > 0 {
                 SHRINK.record((it.vertices as u64 * 1000) / prev.vertices as u64);

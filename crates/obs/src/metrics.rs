@@ -700,6 +700,16 @@ impl LazyHistogram {
         }
         self.cell.get_or_init(|| histogram(self.name)).record(v);
     }
+
+    /// Register the series now (when metrics are enabled) without recording
+    /// a sample — pre-registration for reports that must always carry the
+    /// histogram, without polluting it with a synthetic zero.
+    pub fn touch(&self) {
+        if !enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| histogram(self.name));
+    }
 }
 
 #[cfg(test)]

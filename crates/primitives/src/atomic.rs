@@ -73,11 +73,23 @@ pub fn packed_edge_key(w: f64, id: u32) -> u128 {
     (u128::from(weight_order_bits(w)) << 32) | u128::from(id)
 }
 
+/// Slot storage. The shared form is the lock-free CAS race. The
+/// single-writer form interleaves each slot's value with a cache of its
+/// current minimum key `(value, key hi, key lo)` — one cache line per
+/// slot — so an improving write never has to re-derive the incumbent's
+/// key (for edge races, a scattered read into the full edge array). The
+/// atomics in the single-writer form are only there to stay inside
+/// `#![forbid(unsafe_code)]`; every access is a plain Relaxed load/store
+/// and the one-writer contract makes them race-free.
+enum Store {
+    Shared(Vec<AtomicU64>),
+    Single(Vec<(AtomicU64, AtomicU64, AtomicU64)>),
+}
+
 /// An array of atomic minimum cells. See the module docs for the race
 /// semantics and the sequential fallback.
 pub struct MinSlots {
-    slots: Vec<AtomicU64>,
-    sequential: bool,
+    store: Store,
 }
 
 impl MinSlots {
@@ -85,20 +97,49 @@ impl MinSlots {
     /// mode (`MSF_SEQUENTIAL` / `with_sequential`) for the lifetime of the
     /// array, so a sequential run never touches the CAS path.
     pub fn new(n: usize) -> MinSlots {
+        if crate::pool::sequential_here() {
+            MinSlots::new_single_writer(n)
+        } else {
+            MinSlots {
+                store: Store::Shared((0..n).map(|_| AtomicU64::new(EMPTY)).collect()),
+            }
+        }
+    }
+
+    /// `n` slots in single-writer mode: plain load/compare/store (zero CAS
+    /// retries for the telemetry to report) plus a per-slot key cache, so
+    /// `write_min_by` never re-derives the incumbent's key.
+    ///
+    /// **Caller contract:** every `write_min`/`write_min_by` on this array
+    /// happens on one thread. The rayon-facade algorithms satisfy it when
+    /// the pool has a single worker (everything runs inline); `SmpTeam`
+    /// ranks are real threads at any pool width and must use [`new`].
+    pub fn new_single_writer(n: usize) -> MinSlots {
         MinSlots {
-            slots: (0..n).map(|_| AtomicU64::new(EMPTY)).collect(),
-            sequential: crate::pool::sequential_here(),
+            store: Store::Single(
+                (0..n)
+                    .map(|_| (AtomicU64::new(EMPTY), AtomicU64::new(0), AtomicU64::new(0)))
+                    .collect(),
+            ),
         }
     }
 
     /// Number of slots.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        match &self.store {
+            Store::Shared(s) => s.len(),
+            Store::Single(s) => s.len(),
+        }
     }
 
     /// Whether the array has zero slots.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether this array is in the single-writer (plain path) mode.
+    pub fn is_single_writer(&self) -> bool {
+        matches!(self.store, Store::Single(_))
     }
 
     /// Read slot `i` (the minimum of everything written so far, or
@@ -106,14 +147,26 @@ impl MinSlots {
     /// joined — is deterministic.
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
-        self.slots[i].load(Ordering::Acquire)
+        match &self.store {
+            Store::Shared(s) => s[i].load(Ordering::Acquire),
+            Store::Single(s) => s[i].0.load(Ordering::Relaxed),
+        }
     }
 
     /// Reset every slot to [`EMPTY`] for reuse in the next round. Takes
     /// `&mut self`: resetting is a phase boundary, not part of any race.
     pub fn reset(&mut self) {
-        for s in self.slots.iter_mut() {
-            *s.get_mut() = EMPTY;
+        match &mut self.store {
+            Store::Shared(s) => {
+                for v in s.iter_mut() {
+                    *v.get_mut() = EMPTY;
+                }
+            }
+            Store::Single(s) => {
+                for (v, _, _) in s.iter_mut() {
+                    *v.get_mut() = EMPTY;
+                }
+            }
         }
     }
 
@@ -131,30 +184,41 @@ impl MinSlots {
     #[inline]
     pub fn write_min_by(&self, i: usize, v: u64, key: impl Fn(u64) -> u128) -> bool {
         debug_assert!(v != EMPTY, "EMPTY is reserved for vacant slots");
-        let slot = &self.slots[i];
         let kv = key(v);
-        if self.sequential {
-            // Single-threaded by contract: plain read/compare/write, zero
-            // CAS retries for the telemetry to report.
-            let cur = slot.load(Ordering::Relaxed);
-            if cur == EMPTY || kv < key(cur) {
-                slot.store(v, Ordering::Relaxed);
-                return true;
+        match &self.store {
+            Store::Single(s) => {
+                // One writer by contract: plain read/compare/write against
+                // the cached incumbent key, zero CAS retries for the
+                // telemetry to report.
+                let (val, hi, lo) = &s[i];
+                let cur = val.load(Ordering::Relaxed);
+                let cur_key = (u128::from(hi.load(Ordering::Relaxed)) << 64)
+                    | u128::from(lo.load(Ordering::Relaxed));
+                if cur == EMPTY || kv < cur_key {
+                    val.store(v, Ordering::Relaxed);
+                    hi.store((kv >> 64) as u64, Ordering::Relaxed);
+                    lo.store(kv as u64, Ordering::Relaxed);
+                    return true;
+                }
+                false
             }
-            return false;
-        }
-        let mut cur = slot.load(Ordering::Relaxed);
-        loop {
-            if cur != EMPTY && kv >= key(cur) {
-                return false;
-            }
-            match slot.compare_exchange_weak(cur, v, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return true,
-                Err(actual) => {
-                    // Lost the race to a concurrent writer: re-read and
-                    // re-decide. This is the contention observable.
-                    WRITE_MIN_CAS_RETRY.inc();
-                    cur = actual;
+            Store::Shared(s) => {
+                let slot = &s[i];
+                let mut cur = slot.load(Ordering::Relaxed);
+                loop {
+                    if cur != EMPTY && kv >= key(cur) {
+                        return false;
+                    }
+                    match slot.compare_exchange_weak(cur, v, Ordering::AcqRel, Ordering::Acquire) {
+                        Ok(_) => return true,
+                        Err(actual) => {
+                            // Lost the race to a concurrent writer: re-read
+                            // and re-decide. This is the contention
+                            // observable.
+                            WRITE_MIN_CAS_RETRY.inc();
+                            cur = actual;
+                        }
+                    }
                 }
             }
         }
@@ -162,7 +226,10 @@ impl MinSlots {
 
     /// Consume the array and return the plain slot values.
     pub fn into_values(self) -> Vec<u64> {
-        self.slots.into_iter().map(AtomicU64::into_inner).collect()
+        match self.store {
+            Store::Shared(s) => s.into_iter().map(AtomicU64::into_inner).collect(),
+            Store::Single(s) => s.into_iter().map(|(v, _, _)| v.into_inner()).collect(),
+        }
     }
 }
 
@@ -275,10 +342,37 @@ mod tests {
     fn sequential_mode_takes_the_plain_path() {
         crate::pool::with_sequential(|| {
             let slots = MinSlots::new(1);
-            assert!(slots.sequential);
+            assert!(slots.is_single_writer());
             assert!(slots.write_min(0, 5));
             assert!(!slots.write_min(0, 6));
             assert_eq!(slots.get(0), 5);
         });
+    }
+
+    #[test]
+    fn single_writer_mode_matches_the_shared_race() {
+        // Same pseudo-random workload through both stores; the quiescent
+        // minima (and the change/no-change return values) must coincide.
+        let table: Vec<u128> = (0..512u64)
+            .map(|v| u128::from(v * 2654435761 % 977))
+            .collect();
+        let shared = MinSlots::new(64);
+        let single = MinSlots::new_single_writer(64);
+        assert!(single.is_single_writer());
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..4_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let (slot, v) = ((x >> 32) as usize % 64, x % 512);
+            let a = shared.write_min_by(slot, v, |v| table[v as usize]);
+            let b = single.write_min_by(slot, v, |v| table[v as usize]);
+            assert_eq!(a, b);
+        }
+        for i in 0..64 {
+            assert_eq!(shared.get(i), single.get(i), "slot {i}");
+        }
+        let (a, b) = (shared.into_values(), single.into_values());
+        assert_eq!(a, b);
     }
 }

@@ -21,6 +21,10 @@
 //! * [`atomic`] — lock-free atomic write-min slots (the parlaylib race
 //!   replacing barriered segmented find-min), with the order-isomorphic
 //!   `(weight bits, edge id)` packed key.
+//! * [`fused`] — single-pass fused filter/relabel/compact kernels (one
+//!   DRAM sweep per contraction round instead of several), the retained
+//!   multi-pass escape hatch (`MSF_UNFUSED=1`), and the
+//!   `kernel.fused_bytes_read` traffic observable.
 //! * [`unionfind`] — sequential union–find (rank + path compression).
 //! * [`heap`] — an indexed binary heap with `decrease-key` for Prim-style
 //!   tree growth.
@@ -48,6 +52,7 @@ pub mod arena;
 pub mod atomic;
 pub mod connectivity;
 pub mod cost;
+pub mod fused;
 pub mod heap;
 pub mod permutation;
 pub mod prefix;

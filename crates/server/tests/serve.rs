@@ -80,7 +80,13 @@ fn eight_concurrent_clients_get_the_offline_forest_bit_for_bit() {
 
     // 8 clients, mixed compute/certify, mixed algorithms — every reply
     // must carry the same checksum.
-    let algos = ["bor-fal", "bor-el", "kruskal", "bor-write-min"];
+    let algos = [
+        "bor-fal",
+        "bor-el",
+        "kruskal",
+        "bor-write-min",
+        "filter-kruskal",
+    ];
     let clients: Vec<_> = (0..8)
         .map(|i| {
             let addr = addr.clone();

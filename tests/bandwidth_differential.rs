@@ -1,0 +1,203 @@
+//! Differential suites for the bandwidth-lean contraction core.
+//!
+//! Two process-global levers change *how* the contraction pipeline touches
+//! memory without being allowed to change *what* it computes:
+//!
+//! * **fused vs unfused** — `MSF_UNFUSED=1` (here: `fused::with_unfused`)
+//!   swaps the single-sweep relabel+filter kernels back to the retained
+//!   multi-pass formulation. Every affected algorithm must produce the
+//!   bit-identical forest at the exact same modeled cost, because both
+//!   paths charge the same analytic formulas and visit edges in the same
+//!   order.
+//! * **narrowed vs wide** — `MSF_NO_NARROW=1` (here: `wide::with_no_narrow`)
+//!   keeps the width-adaptive recursion in `u64` end to end. The modeled
+//!   cost counts accesses, not bytes, so it too must match exactly.
+//!
+//! The matrix mirrors `pool_matrix`: pool width pinned to 4 so the
+//! work-stealing scheduler is genuinely active even on a 1-core host,
+//! awkward processor counts {1, 2, 3, 7, 8}, and a hostile generator mix
+//! (duplicate weights, structured near-worst-cases, power-law skew). The
+//! whole file must also pass under `RUST_TEST_THREADS=1` and
+//! `MSF_SEQUENTIAL=1` — the CI escape-hatch harnesses.
+
+use msf_core::par::wide::{self, msf_on_soa};
+use msf_core::{minimum_spanning_forest, Algorithm, MsfConfig, MsfResult};
+use msf_graph::generators::{
+    assign_weights, powerlaw_graph, random_graph, structured, GeneratorConfig, PowerLawConfig,
+    StructuredKind, WeightScheme,
+};
+use msf_graph::soa::SoaEdgeList;
+use msf_graph::EdgeList;
+use msf_primitives::fused;
+
+const MATRIX_P: [usize; 5] = [1, 2, 3, 7, 8];
+
+/// The algorithms whose contraction pipelines route through the fused
+/// kernels (directly or via the shared relabel/filter helpers).
+const FUSED_ALGOS: [Algorithm; 5] = [
+    Algorithm::BorEl,
+    Algorithm::MstBc,
+    Algorithm::BorWriteMin,
+    Algorithm::SfHook,
+    Algorithm::FilterKruskal,
+];
+
+fn hostile_inputs() -> Vec<(String, EdgeList)> {
+    let cfg = GeneratorConfig::with_seed(42);
+    vec![
+        (
+            "random n=3000 m=12000".into(),
+            random_graph(&cfg, 3_000, 12_000),
+        ),
+        (
+            "duplicate small-int weights".into(),
+            assign_weights(
+                &random_graph(&cfg, 1_500, 9_000),
+                WeightScheme::SmallIntegers { range: 4 },
+                42,
+            ),
+        ),
+        (
+            "str1 n=2000".into(),
+            structured(&cfg, StructuredKind::Str1, 2_000),
+        ),
+        (
+            "powerlaw n=2000".into(),
+            powerlaw_graph(PowerLawConfig::new(2_000, 8_000, 9)).expect("in-memory size"),
+        ),
+    ]
+}
+
+fn fingerprint(r: &MsfResult) -> (Vec<u32>, u64, u32) {
+    (r.edges.clone(), r.total_weight.to_bits(), r.components)
+}
+
+#[test]
+fn fused_and_unfused_are_bit_identical_with_equal_modeled_cost() {
+    msf_pool::force_width(4);
+    for (name, g) in hostile_inputs() {
+        for algo in FUSED_ALGOS {
+            for p in MATRIX_P {
+                let cfg = MsfConfig::with_threads(p);
+                let fused_run =
+                    fused::with_unfused(false, || minimum_spanning_forest(&g, algo, &cfg));
+                let plain_run =
+                    fused::with_unfused(true, || minimum_spanning_forest(&g, algo, &cfg));
+                assert_eq!(
+                    fingerprint(&fused_run),
+                    fingerprint(&plain_run),
+                    "{name}: {algo} at p={p} diverged between fused and unfused kernels"
+                );
+                // MST-BC races threads to tree collisions, so its per-run
+                // work split — and hence the modeled cost — is scheduling
+                // dependent at p > 1 even within a single mode. Every other
+                // contender charges pure functions of the round structure,
+                // which the fused rewrite must not perturb.
+                if algo != Algorithm::MstBc {
+                    assert_eq!(
+                        fused_run.stats.modeled_cost, plain_run.stats.modeled_cost,
+                        "{name}: {algo} at p={p} modeled cost drifted between modes"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bor_fal_filter_front_end_is_mode_invariant() {
+    // Bor-FAL+filter routes its cycle-property keep-pass through the fused
+    // indexed compact; the inner Bor-FAL contraction is untouched by the
+    // mode, so forest and modeled cost must both hold.
+    msf_pool::force_width(4);
+    let g = random_graph(&GeneratorConfig::with_seed(3), 2_000, 10_000);
+    for p in MATRIX_P {
+        let cfg = MsfConfig::with_threads(p);
+        let fused_run = fused::with_unfused(false, || {
+            minimum_spanning_forest(&g, Algorithm::BorFalFilter, &cfg)
+        });
+        let plain_run = fused::with_unfused(true, || {
+            minimum_spanning_forest(&g, Algorithm::BorFalFilter, &cfg)
+        });
+        assert_eq!(
+            fingerprint(&fused_run),
+            fingerprint(&plain_run),
+            "Bor-FAL+filter at p={p} diverged between fused and unfused kernels"
+        );
+        assert_eq!(
+            fused_run.stats.modeled_cost, plain_run.stats.modeled_cost,
+            "Bor-FAL+filter at p={p} modeled cost drifted between modes"
+        );
+    }
+}
+
+#[test]
+fn narrowed_and_wide_recursions_are_bit_identical() {
+    msf_pool::force_width(4);
+    for (name, g) in hostile_inputs() {
+        let soa = SoaEdgeList::<u64>::from_edge_list(&g).expect("test graphs fit");
+        let narrow = SoaEdgeList::<u32>::from_edge_list(&g).expect("test graphs fit");
+        let reference: Vec<u64> =
+            minimum_spanning_forest(&g, Algorithm::Kruskal, &MsfConfig::default())
+                .edges
+                .iter()
+                .map(|&i| u64::from(i))
+                .collect();
+        for p in MATRIX_P {
+            let cfg = MsfConfig::with_threads(p);
+            let narrowed = wide::with_no_narrow(false, || msf_on_soa(&soa, &cfg));
+            let stay_wide = wide::with_no_narrow(true, || msf_on_soa(&soa, &cfg));
+            let from_narrow_entry = msf_on_soa(&narrow, &cfg);
+            assert_eq!(
+                narrowed.edges, stay_wide.edges,
+                "{name} p={p}: narrowing changed the forest"
+            );
+            assert_eq!(
+                narrowed.total_weight.to_bits(),
+                stay_wide.total_weight.to_bits(),
+                "{name} p={p}: narrowing changed the weight"
+            );
+            assert_eq!(
+                narrowed.modeled_cost, stay_wide.modeled_cost,
+                "{name} p={p}: modeled cost must be width-pure"
+            );
+            assert_eq!(
+                narrowed.edges, from_narrow_entry.edges,
+                "{name} p={p}: u64 and u32 entry points disagree"
+            );
+            assert_eq!(
+                narrowed.edges, reference,
+                "{name} p={p}: width-adaptive forest is not the unique MSF"
+            );
+        }
+    }
+}
+
+#[test]
+fn narrowing_composes_with_unfused_kernels() {
+    // All four mode combinations must agree: (fused|unfused) × (narrow|wide).
+    msf_pool::force_width(4);
+    let g = random_graph(&GeneratorConfig::with_seed(77), 2_500, 10_000);
+    let soa = SoaEdgeList::<u64>::from_edge_list(&g).expect("fits");
+    let cfg = MsfConfig::with_threads(3);
+    let mut runs = Vec::new();
+    for unfused in [false, true] {
+        for no_narrow in [false, true] {
+            let r = fused::with_unfused(unfused, || {
+                wide::with_no_narrow(no_narrow, || msf_on_soa(&soa, &cfg))
+            });
+            runs.push((unfused, no_narrow, r));
+        }
+    }
+    let (_, _, first) = &runs[0];
+    for (unfused, no_narrow, r) in &runs {
+        assert_eq!(
+            r.edges, first.edges,
+            "unfused={unfused} no_narrow={no_narrow} diverged"
+        );
+        assert_eq!(
+            r.modeled_cost, first.modeled_cost,
+            "unfused={unfused} no_narrow={no_narrow}: modeled cost drifted"
+        );
+    }
+}

@@ -240,6 +240,98 @@ fn race_star(n: u32) {
     assert_eq!(uf.hooked().len(), n as usize - 1);
 }
 
+/// Filter-Kruskal's heavy-edge filter runs `same_set` from every worker at
+/// once over a union-find whose unions are quiescent — but the *finds* are
+/// not: path halving keeps rewriting parent pointers underneath the other
+/// ranks' traversals. Every concurrent answer must equal the sequential
+/// partition's, and the racing compaction must leave the partition intact.
+#[test]
+fn fk_filter_queries_race_path_halving() {
+    let _l = lock();
+    const N: u32 = 512;
+    // Long chains maximize the halving writes a concurrent find can trip
+    // over: unite as one path 0-1-2-..., leaving every other vertex out.
+    let uf = ConcurrentUnionFind::new(N as usize);
+    let mut pairs = Vec::new();
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for _ in 0..900 {
+        x = xorshift(x);
+        let (u, v) = ((x >> 32) as u32 % N, x as u32 % N);
+        if u != v {
+            pairs.push((u, v));
+        }
+    }
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        uf.unite(u, v, i as u32);
+    }
+    let mut seq = UnionFind::new(N as usize);
+    for &(u, v) in &pairs {
+        seq.union(u as usize, v as usize);
+    }
+    // Query edges: the pair list again plus a pseudo-random probe mix, so
+    // both connected and cross-component answers are exercised.
+    let mut probes = pairs.clone();
+    for _ in 0..2_000 {
+        x = xorshift(x);
+        let (u, v) = ((x >> 32) as u32 % N, x as u32 % N);
+        if u != v {
+            probes.push((u, v));
+        }
+    }
+    let expect: Vec<bool> = probes
+        .iter()
+        .map(|&(u, v)| seq.find(u as usize) == seq.find(v as usize))
+        .collect();
+    for _ in 0..8 {
+        SmpTeam::new(P).run(|ctx| {
+            // Every rank sweeps the whole probe list (not a block split):
+            // maximal overlap means maximal racing between the ranks'
+            // path-halving stores.
+            let mut order = ctx.rank;
+            for _ in 0..probes.len() {
+                order = (order + 7) % probes.len();
+                let (u, v) = probes[order];
+                assert_eq!(
+                    uf.same_set(u, v),
+                    expect[order],
+                    "concurrent same_set({u}, {v}) diverged from the sequential partition"
+                );
+            }
+        });
+    }
+}
+
+/// End-to-end determinism for the sampling Filter-Kruskal under the forced
+/// stress pool: racing heavy-filter sweeps must never perturb the forest.
+#[test]
+fn filter_kruskal_is_deterministic_under_the_stress_pool() {
+    let _l = lock();
+    msf_pool::force_width(4);
+    let g = msf_graph::generators::assign_weights(
+        &msf_graph::generators::random_graph(
+            &msf_graph::generators::GeneratorConfig::with_seed(11),
+            2_000,
+            12_000,
+        ),
+        msf_graph::generators::WeightScheme::SmallIntegers { range: 6 },
+        11,
+    );
+    let cfg = msf_core::MsfConfig::with_threads(P);
+    let reference = msf_core::minimum_spanning_forest(
+        &g,
+        msf_core::Algorithm::Kruskal,
+        &msf_core::MsfConfig::default(),
+    );
+    for round in 0..8 {
+        let r = msf_core::minimum_spanning_forest(&g, msf_core::Algorithm::FilterKruskal, &cfg);
+        assert_eq!(
+            r.edges, reference.edges,
+            "round {round}: Filter-Kruskal forest drifted from Kruskal's"
+        );
+        assert_eq!(r.total_weight.to_bits(), reference.total_weight.to_bits());
+    }
+}
+
 #[test]
 fn contended_hooking_reports_cas_retries() {
     let _l = lock();
