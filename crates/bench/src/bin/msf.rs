@@ -56,6 +56,8 @@ fn usage() -> ! {
          msf compute <graph> [--algo NAME] [--threads P] [--verify] [--out FILE] [--trace FILE]\n  \
          msf certify <graph> [--algo NAME] [--threads P]\n  \
          msf trace <graph> [--algo NAME] [--threads P] [--out FILE] [--strict]\n  \
+         msf profile [--hz N] [--out FILE] [--svg FILE] [--top N] [--assert-agree PCT]\n      \
+         -- <compute|certify|trace|bench|fuzz args...>\n  \
          msf fuzz [--cases N] [--seed S] [--corpus DIR] [--max-n N] [--inject-failure]\n  \
          msf generate <random n m | mesh side | 2d60 side | 3d40 side | geometric n k | str0..str3 n\n                \
          | rmat scale edge_factor | powerlaw n m>\n      \
@@ -69,9 +71,11 @@ fn usage() -> ! {
          [--out FILE]\n  \
          msf serve --listen <unix:PATH|HOST:PORT> [--algo NAME] [--threads P] [--paranoid]\n      \
          [--registry-bytes N] [--large-threshold U] [--max-inflight U] [--max-queued N]\n      \
-         [--preload NAME=PATH]...\n  \
+         [--slow-ms MS] [--preload NAME=PATH]...\n  \
          msf client <addr> <ping|load NAME PATH|compute NAME|certify NAME|info NAME|evict NAME\n      \
-         |stats|shutdown> [--algo NAME] [--threads P] [--paranoid] [--no-cache]\n\n\
+         |stats|profile start|stop|fetch|shutdown> [--algo NAME] [--threads P] [--hz N]\n      \
+         [--paranoid] [--no-cache]\n\n\
+         --algorithm is accepted everywhere --algo is\n\
          <graph> is DIMACS (.gr) or msfb binary — detected by content, not extension\n\
          algorithms: prim kruskal boruvka bor-el bor-al bor-alm bor-fal bor-fal-filter bor-dense mst-bc\n            \
          bor-write-min sf-hook filter-kruskal"
@@ -144,6 +148,7 @@ fn main() {
         Some("compute") => compute(&args[1..]),
         Some("certify") => certify(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
+        Some("profile") => profile_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("convert") => convert(&args[1..]),
@@ -173,7 +178,7 @@ fn serve_cmd(args: &[String]) {
                     std::process::exit(2);
                 });
             }
-            "--algo" => {
+            "--algo" | "--algorithm" => {
                 i += 1;
                 cfg.default_algorithm = args
                     .get(i)
@@ -216,6 +221,14 @@ fn serve_cmd(args: &[String]) {
                     .unwrap_or_else(|| usage());
             }
             "--paranoid" => cfg.paranoid = true,
+            "--slow-ms" => {
+                i += 1;
+                cfg.slow_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--preload" => {
                 i += 1;
                 let spec = args.get(i).unwrap_or_else(|| usage());
@@ -254,19 +267,27 @@ fn client_cmd(args: &[String]) {
     let rest = &args[2..];
     let mut algo = String::new();
     let mut threads = 0u32;
+    let mut hz = 0u32;
     let mut paranoid = false;
     let mut no_cache = false;
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--algo" => {
+            "--algo" | "--algorithm" => {
                 i += 1;
                 algo = rest.get(i).cloned().unwrap_or_else(|| usage());
             }
             "--threads" => {
                 i += 1;
                 threads = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--hz" => {
+                i += 1;
+                hz = rest
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -286,6 +307,7 @@ fn client_cmd(args: &[String]) {
         ("evict", [name]) => client.evict(name),
         ("stats", []) => client.stats(),
         ("shutdown", []) => client.shutdown(),
+        ("profile", [action]) => client.profile(action, hz),
         _ => usage(),
     };
     let resp = sent.unwrap_or_else(|e| {
@@ -351,6 +373,21 @@ fn client_cmd(args: &[String]) {
             r.checksum,
             r.wall_ns as f64 / 1e6
         ),
+        Response::Profile {
+            running,
+            folded,
+            samples,
+            dropped,
+            wakeups,
+        } => {
+            eprintln!(
+                "profiler {}: {samples} samples, {dropped} dropped, {wakeups} wakeups",
+                if running { "running" } else { "stopped" }
+            );
+            // The collapsed stacks go to stdout so they pipe straight into
+            // flamegraph.pl or a file.
+            print!("{folded}");
+        }
     }
 }
 
@@ -363,7 +400,7 @@ fn trace_cmd(args: &[String]) {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--algo" => {
+            "--algo" | "--algorithm" => {
                 i += 1;
                 algo = args
                     .get(i)
@@ -403,6 +440,165 @@ fn trace_cmd(args: &[String]) {
     finish_trace(&out_path, strict);
 }
 
+/// `msf profile [--hz N] [--out FILE] [--svg FILE] [--top N]
+/// [--assert-agree PCT] -- <subcommand args...>` — run any other subcommand
+/// under the span-stack sampling profiler and report where the time went.
+///
+/// The inner command runs in-process (same dispatch as `msf <subcommand>`),
+/// so the profiler sees the real pool workers and team threads. Metrics are
+/// force-enabled so the instrumented `phase.*.wall_ns` histograms accumulate
+/// alongside the samples; the agreement table at the end cross-checks the
+/// two for every phase that held ≥5% of the run, and `--assert-agree PCT`
+/// turns disagreement beyond PCT percent into exit code 1.
+fn profile_cmd(args: &[String]) {
+    let mut hz = 997u64;
+    let mut out_path: Option<String> = None;
+    let mut svg_path: Option<String> = None;
+    let mut top = 10usize;
+    let mut assert_agree: Option<f64> = None;
+    let mut inner: Option<&[String]> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--hz" => {
+                i += 1;
+                hz = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--svg" => {
+                i += 1;
+                svg_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--top" => {
+                i += 1;
+                top = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--assert-agree" => {
+                i += 1;
+                assert_agree = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--" => {
+                inner = Some(&args[i + 1..]);
+                break;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let inner = inner.filter(|a| !a.is_empty()).unwrap_or_else(|| usage());
+
+    obs::metrics::set_enabled(true);
+    obs::metrics::reset_for_test(); // the agreement check wants this run only
+    obs::profile::start(hz).unwrap_or_else(|e| {
+        eprintln!("cannot start the profiler: {e}");
+        std::process::exit(2);
+    });
+    match inner[0].as_str() {
+        "compute" => compute(&inner[1..]),
+        "certify" => certify(&inner[1..]),
+        "trace" => trace_cmd(&inner[1..]),
+        "bench" => bench(&inner[1..]),
+        "fuzz" => fuzz_cmd(&inner[1..]),
+        other => {
+            eprintln!(
+                "msf profile cannot wrap '{other}' (try compute, certify, trace, bench, or fuzz)"
+            );
+            std::process::exit(2);
+        }
+    }
+    let report = obs::profile::stop();
+
+    eprintln!();
+    eprint!("{}", report.top(top));
+    if let Some(hot) = report.hottest() {
+        eprintln!("hottest: {}", hot.name());
+    }
+    if let Some(path) = &out_path {
+        std::fs::write(path, report.folded()).expect("write folded profile");
+        eprintln!("collapsed stacks written to {path} (flamegraph.pl-compatible)");
+    }
+    if let Some(path) = &svg_path {
+        std::fs::write(path, report.svg()).expect("write SVG flamegraph");
+        eprintln!("flamegraph written to {path}");
+    }
+
+    // Reconcile sampled time against the instrumented phase wall clocks.
+    // Inclusive samples of a phase kind / hz ≈ that phase's wall_ns sum:
+    // step spans only ever live on the thread driving the run, so a phase
+    // that instrumented W ns should hold ~W×hz/1e9 samples.
+    let snap = obs::metrics::snapshot();
+    let run_samples = report.inclusive_samples(obs::SpanKind::Run).max(1);
+    let phases = [
+        (obs::SpanKind::Setup, "phase.setup.wall_ns"),
+        (obs::SpanKind::FindMin, "phase.find-min.wall_ns"),
+        (obs::SpanKind::Connect, "phase.connect.wall_ns"),
+        (obs::SpanKind::Compact, "phase.compact.wall_ns"),
+        (obs::SpanKind::BaseCase, "phase.base-case.wall_ns"),
+    ];
+    let mut worst: Option<(f64, &str)> = None;
+    let mut printed_header = false;
+    for (kind, hist_name) in phases {
+        let instrumented_ns = snap.histogram(hist_name).map(|h| h.sum).unwrap_or(0);
+        let samples = report.inclusive_samples(kind);
+        if instrumented_ns == 0 && samples == 0 {
+            continue;
+        }
+        let share = samples as f64 / run_samples as f64;
+        let est_ns = samples as f64 / hz as f64 * 1e9;
+        let err_pct = if instrumented_ns > 0 {
+            (est_ns - instrumented_ns as f64).abs() / instrumented_ns as f64 * 100.0
+        } else {
+            100.0
+        };
+        if !printed_header {
+            eprintln!(
+                "{:<20} {:>9} {:>12} {:>12} {:>8}",
+                "phase", "share", "sampled", "metered", "error"
+            );
+            printed_header = true;
+        }
+        eprintln!(
+            "{:<20} {:>8.1}% {:>10.3}ms {:>10.3}ms {:>7.1}%",
+            kind.name(),
+            share * 100.0,
+            est_ns / 1e6,
+            instrumented_ns as f64 / 1e6,
+            err_pct
+        );
+        // Only phases carrying ≥5% of the run's samples are statistically
+        // meaningful at practical rates; smaller ones are noise.
+        if share >= 0.05 {
+            let is_worse = worst.map(|(w, _)| err_pct > w).unwrap_or(true);
+            if is_worse {
+                worst = Some((err_pct, kind.name()));
+            }
+        }
+    }
+    if let (Some(limit), Some((err, name))) = (assert_agree, worst) {
+        if err > limit {
+            eprintln!(
+                "--assert-agree {limit}%: phase '{name}' disagrees by {err:.1}% between \
+                 samples and phase.*.wall_ns; failing"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("--assert-agree {limit}%: worst major-phase disagreement {err:.1}% ({name}) ✓");
+    }
+}
+
 fn certify(args: &[String]) {
     let path = args.first().unwrap_or_else(|| usage());
     let mut algo = Algorithm::BorFal;
@@ -410,7 +606,7 @@ fn certify(args: &[String]) {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--algo" => {
+            "--algo" | "--algorithm" => {
                 i += 1;
                 algo = args
                     .get(i)
@@ -530,7 +726,7 @@ fn compute(args: &[String]) {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--algo" => {
+            "--algo" | "--algorithm" => {
                 i += 1;
                 algo = args
                     .get(i)
@@ -940,6 +1136,17 @@ fn bench(args: &[String]) {
         obs::metrics::LazyHistogram::new("boruvka.round_live_vertices");
     FUSED_BYTES.add(0);
     ROUND_LIVE.touch();
+    // And the profiler's bookkeeping trio: `--json` consumers get stable
+    // keys whether or not MSF_PROFILE was set for this run.
+    static PROFILE_SAMPLES: obs::metrics::LazyCounter =
+        obs::metrics::LazyCounter::new("profile.samples");
+    static PROFILE_DROPPED: obs::metrics::LazyCounter =
+        obs::metrics::LazyCounter::new("profile.dropped");
+    static PROFILE_WAKEUPS: obs::metrics::LazyCounter =
+        obs::metrics::LazyCounter::new("profile.wakeups");
+    PROFILE_SAMPLES.add(0);
+    PROFILE_DROPPED.add(0);
+    PROFILE_WAKEUPS.add(0);
 
     let scale_name = match scale {
         msf_bench::Scale::Large => "large",

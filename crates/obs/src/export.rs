@@ -141,8 +141,18 @@ impl Trace {
     /// individually (so self-time is double counted — this is a span
     /// census, not a flame graph).
     pub fn span_durations(&self) -> HashMap<u16, (usize, u64)> {
+        self.span_duration_lists()
+            .into_iter()
+            .map(|(kind, list)| (kind, (list.len(), list.iter().sum())))
+            .collect()
+    }
+
+    /// Per-kind list of individual span wall durations (nanoseconds, in
+    /// completion order) from matched Begin/End pairs — the raw material
+    /// for the percentile columns in [`Trace::summary`].
+    pub fn span_duration_lists(&self) -> HashMap<u16, Vec<u64>> {
         let mut stacks: HashMap<u32, Vec<(u16, u64)>> = HashMap::new();
-        let mut out: HashMap<u16, (usize, u64)> = HashMap::new();
+        let mut out: HashMap<u16, Vec<u64>> = HashMap::new();
         for e in self.per_thread_order() {
             let stack = stacks.entry(e.tid).or_default();
             match e.phase {
@@ -150,9 +160,9 @@ impl Trace {
                 Phase::End => {
                     if let Some((kind, began)) = stack.pop() {
                         if kind == e.kind {
-                            let slot = out.entry(kind).or_default();
-                            slot.0 += 1;
-                            slot.1 += e.ts_ns.saturating_sub(began);
+                            out.entry(kind)
+                                .or_default()
+                                .push(e.ts_ns.saturating_sub(began));
                         }
                     }
                 }
@@ -220,12 +230,26 @@ impl Trace {
         out
     }
 
-    /// A compact text table: per-kind span counts and total wall time, plus
-    /// thread and drop bookkeeping.
+    /// A compact text table: per-kind span counts, total wall time, and
+    /// p50/p90/p99 duration percentiles, plus thread and drop bookkeeping.
     pub fn summary(&self) -> String {
-        let durations = self.span_durations();
-        let mut rows: Vec<(u16, (usize, u64))> = durations.into_iter().collect();
-        rows.sort_by_key(|row| std::cmp::Reverse(row.1 .1));
+        // Nearest-rank percentile over a sorted duration list.
+        fn pct(sorted: &[u64], q: f64) -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        }
+        let mut rows: Vec<(u16, Vec<u64>)> = self
+            .span_duration_lists()
+            .into_iter()
+            .map(|(kind, mut list)| {
+                list.sort_unstable();
+                (kind, list)
+            })
+            .collect();
+        rows.sort_by_key(|(_, list)| std::cmp::Reverse(list.iter().sum::<u64>()));
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -247,17 +271,25 @@ impl Trace {
                 }
             }
         }
-        let _ = writeln!(out, "{:<20} {:>8} {:>14}", "span", "count", "total");
-        for (kind, (count, total_ns)) in rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>14} {:>12} {:>12} {:>12}",
+            "span", "count", "total", "p50", "p90", "p99"
+        );
+        for (kind, list) in rows {
             let name = SpanKind::from_u16(kind)
                 .map(|k| k.name().to_owned())
                 .unwrap_or_else(|| format!("kind-{kind}"));
+            let total_ns: u64 = list.iter().sum();
             let _ = writeln!(
                 out,
-                "{:<20} {:>8} {:>12.3}ms",
+                "{:<20} {:>8} {:>12.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms",
                 name,
-                count,
-                total_ns as f64 / 1e6
+                list.len(),
+                total_ns as f64 / 1e6,
+                pct(&list, 0.50) as f64 / 1e6,
+                pct(&list, 0.90) as f64 / 1e6,
+                pct(&list, 0.99) as f64 / 1e6
             );
         }
         out
@@ -549,6 +581,43 @@ mod tests {
         let s = t.summary();
         assert!(s.contains("find-min"));
         assert!(s.contains("2 events"));
+    }
+
+    #[test]
+    fn summary_reports_duration_percentiles() {
+        // Ten sequential find-min spans of 1ms..10ms: nearest-rank
+        // percentiles are p50 = 5ms, p90 = 9ms, p99 = 10ms.
+        let mut evs = Vec::new();
+        let mut ts = 0u64;
+        for ms in 1..=10u64 {
+            evs.push(ev(
+                0,
+                evs.len() as u64,
+                ts,
+                Phase::Begin,
+                SpanKind::FindMin,
+                0,
+                0,
+            ));
+            ts += ms * 1_000_000;
+            evs.push(ev(
+                0,
+                evs.len() as u64,
+                ts,
+                Phase::End,
+                SpanKind::FindMin,
+                0,
+                0,
+            ));
+        }
+        let t = trace(evs);
+        let lists = t.span_duration_lists();
+        assert_eq!(lists[&(SpanKind::FindMin as u16)].len(), 10);
+        let s = t.summary();
+        let row = s.lines().find(|l| l.contains("find-min")).expect("row");
+        assert!(row.contains("5.000ms"), "p50 in {row:?}");
+        assert!(row.contains("9.000ms"), "p90 in {row:?}");
+        assert!(row.contains("10.000ms"), "p99 in {row:?}");
     }
 
     #[test]

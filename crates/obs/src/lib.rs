@@ -34,6 +34,7 @@
 pub mod alloc;
 mod export;
 pub mod metrics;
+pub mod profile;
 mod ring;
 
 pub use export::{validate_json, Trace, TraceEvent, TraceThread};
@@ -108,9 +109,10 @@ pub enum SpanKind {
     /// The edge-filtering stage of Bor-FAL+filter. end: `a` = edges kept,
     /// `b` = edges dropped.
     Filter = 10,
-    /// One served request in the `msf serve` daemon. begin: `a` = protocol
-    /// opcode, `b` = admission work units. end: `a` = 1 if the request
-    /// succeeded, `b` = wall nanoseconds.
+    /// One served request in the `msf serve` daemon. begin: `a` = request
+    /// id (the profiler keys per-request sample attribution on it), `b` =
+    /// protocol opcode. end: `a` = 1 if the request succeeded, `b` = wall
+    /// nanoseconds.
     Serve = 11,
 }
 
@@ -262,12 +264,17 @@ pub(crate) fn now_ns() -> u64 {
 
 /// RAII guard for an open span. Dropping it emits the matching `End` event
 /// (with zero args); [`SpanGuard::end_with`] ends it with explicit args.
-/// When tracing is disabled the guard is inert and its drop is a dead branch.
+/// When both tracing and profiling are disabled the guard is inert and its
+/// drop is a dead branch. The guard tracks the two subsystems separately:
+/// tracing records Begin/End events into the ring, profiling pushes/pops a
+/// frame on the thread's live span stack — either can be on without the
+/// other.
 #[must_use = "dropping the guard immediately ends the span"]
 #[derive(Debug)]
 pub struct SpanGuard {
     kind: SpanKind,
     armed: bool,
+    profiled: bool,
 }
 
 impl SpanGuard {
@@ -278,6 +285,10 @@ impl SpanGuard {
             self.armed = false;
             ring::record(pack(Phase::End, self.kind), a, b);
         }
+        if self.profiled {
+            self.profiled = false;
+            profile::pop();
+        }
     }
 }
 
@@ -286,18 +297,31 @@ impl Drop for SpanGuard {
         if self.armed {
             ring::record(pack(Phase::End, self.kind), 0, 0);
         }
+        if self.profiled {
+            profile::pop();
+        }
     }
 }
 
-/// Open a span of the given kind. `a`/`b` are attached to the `Begin` event.
-/// Disabled path: one relaxed load, one branch, and an inert guard.
+/// Open a span of the given kind. `a`/`b` are attached to the `Begin` event;
+/// `a` is also the frame tag on the profiler's span stack (see
+/// [`profile`]). Disabled path: two relaxed loads, two branches, and an
+/// inert guard.
 #[inline]
 pub fn span(kind: SpanKind, a: u64, b: u64) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard { kind, armed: false };
+    let armed = enabled();
+    let profiled = profile::enabled();
+    if armed {
+        ring::record(pack(Phase::Begin, kind), a, b);
     }
-    ring::record(pack(Phase::Begin, kind), a, b);
-    SpanGuard { kind, armed: true }
+    if profiled {
+        profile::push(kind, a);
+    }
+    SpanGuard {
+        kind,
+        armed,
+        profiled,
+    }
 }
 
 /// Record a point event (no duration).

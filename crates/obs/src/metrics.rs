@@ -540,39 +540,105 @@ impl MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Render the snapshot as a Prometheus-style plaintext exposition: one
-    /// `# TYPE` line plus sample lines per metric, dots in names rewritten
-    /// to underscores. Histograms are emitted as summaries (`_count`,
-    /// `_sum`, `_max`, and the three standard `quantile` samples) — the
-    /// log-bucketed internal representation is an implementation detail.
+    /// Render the snapshot as a conformant Prometheus plaintext exposition:
+    /// every metric family gets `# HELP` and `# TYPE` lines, counters carry
+    /// the conventional `_total` suffix, help text and label values are
+    /// escaped per the exposition format, and families are emitted in
+    /// deterministic sorted order. Dots in names are rewritten to
+    /// underscores. Histograms are emitted as summaries (`_count`, `_sum`,
+    /// and the three standard `quantile` samples) with the observed maximum
+    /// as a separate `_max` gauge family — the log-bucketed internal
+    /// representation is an implementation detail.
     pub fn prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         fn sanitize(name: &str) -> String {
-            name.chars()
+            let mut out: String = name
+                .chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect()
+                .collect();
+            if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                out.insert(0, '_');
+            }
+            out
         }
-        let mut out = String::new();
+        // HELP text escaping: backslash and line feed.
+        fn escape_help(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('\n', "\\n")
+        }
+        // Label value escaping: backslash, double quote, line feed.
+        fn escape_label(s: &str) -> String {
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        // One block of lines per metric family, keyed by the exposed family
+        // name so the output sorts deterministically regardless of
+        // registration order.
+        let mut blocks: Vec<(String, String)> = Vec::new();
         for (name, v) in &self.counters {
-            let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE {n} counter");
-            let _ = writeln!(out, "{n} {v}");
+            let n = format!("{}_total", sanitize(name));
+            let mut b = String::new();
+            let _ = writeln!(
+                b,
+                "# HELP {n} {}",
+                escape_help(&format!("msf counter `{name}`"))
+            );
+            let _ = writeln!(b, "# TYPE {n} counter");
+            let _ = writeln!(b, "{n} {v}");
+            blocks.push((n, b));
         }
         for (name, v, peak) in &self.gauges {
             let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE {n} gauge");
-            let _ = writeln!(out, "{n} {v}");
-            let _ = writeln!(out, "{n}_peak {peak}");
+            let mut b = String::new();
+            let _ = writeln!(
+                b,
+                "# HELP {n} {}",
+                escape_help(&format!("msf gauge `{name}`"))
+            );
+            let _ = writeln!(b, "# TYPE {n} gauge");
+            let _ = writeln!(b, "{n} {v}");
+            blocks.push((n.clone(), b));
+            let np = format!("{n}_peak");
+            let mut b = String::new();
+            let _ = writeln!(
+                b,
+                "# HELP {np} {}",
+                escape_help(&format!("msf gauge `{name}` high-water mark"))
+            );
+            let _ = writeln!(b, "# TYPE {np} gauge");
+            let _ = writeln!(b, "{np} {peak}");
+            blocks.push((np, b));
         }
         for h in &self.histograms {
             let n = sanitize(&h.name);
-            let _ = writeln!(out, "# TYPE {n} summary");
-            for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
-                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+            let mut b = String::new();
+            let _ = writeln!(
+                b,
+                "# HELP {n} {}",
+                escape_help(&format!("msf histogram `{}`", h.name))
+            );
+            let _ = writeln!(b, "# TYPE {n} summary");
+            for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                let _ = writeln!(b, "{n}{{quantile=\"{}\"}} {v}", escape_label(q));
             }
-            let _ = writeln!(out, "{n}_sum {}", h.sum);
-            let _ = writeln!(out, "{n}_count {}", h.count);
-            let _ = writeln!(out, "{n}_max {}", h.max);
+            let _ = writeln!(b, "{n}_sum {}", h.sum);
+            let _ = writeln!(b, "{n}_count {}", h.count);
+            blocks.push((n.clone(), b));
+            let nm = format!("{n}_max");
+            let mut b = String::new();
+            let _ = writeln!(
+                b,
+                "# HELP {nm} {}",
+                escape_help(&format!("msf histogram `{}` observed maximum", h.name))
+            );
+            let _ = writeln!(b, "# TYPE {nm} gauge");
+            let _ = writeln!(b, "{nm} {}", h.max);
+            blocks.push((nm, b));
+        }
+        blocks.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        for (_, b) in blocks {
+            out.push_str(&b);
         }
         out
     }
@@ -849,8 +915,8 @@ mod tests {
         h.record(7);
         let text = snapshot().prometheus_text();
         set_enabled(false);
-        assert!(text.contains("# TYPE test_prom_counter counter"));
-        assert!(text.contains("test_prom_counter 3"));
+        assert!(text.contains("# TYPE test_prom_counter_total counter"));
+        assert!(text.contains("test_prom_counter_total 3"));
         assert!(text.contains("test_prom_gauge 5"));
         assert!(text.contains("test_prom_gauge_peak 5"));
         assert!(text.contains("# TYPE test_prom_hist summary"));
@@ -862,6 +928,69 @@ mod tests {
             let name = line.split(['{', ' ']).next().unwrap();
             assert!(!name.contains('.'), "unsanitized name in {line:?}");
         }
+    }
+
+    #[test]
+    fn prometheus_text_is_conformant_exposition() {
+        let _g = locked();
+        set_enabled(true);
+        let c = counter("test.conf.counter");
+        let g = gauge("test.conf.gauge");
+        let h = histogram("test.conf.hist");
+        c.reset();
+        g.reset();
+        h.reset();
+        c.add(2);
+        g.add(9);
+        h.record(4);
+        let text = snapshot().prometheus_text();
+        set_enabled(false);
+
+        // Every sample line's family has HELP and TYPE lines that precede
+        // it, and counters carry the `_total` suffix on both.
+        assert!(text.contains("# HELP test_conf_counter_total "));
+        assert!(text.contains("# TYPE test_conf_counter_total counter"));
+        assert!(text.contains("test_conf_counter_total 2"));
+        assert!(text.contains("# TYPE test_conf_gauge gauge"));
+        assert!(text.contains("# TYPE test_conf_gauge_peak gauge"));
+        assert!(text.contains("# TYPE test_conf_hist summary"));
+        // `_max` is its own gauge family, not a summary sample.
+        assert!(text.contains("# TYPE test_conf_hist_max gauge"));
+        assert!(text.contains("test_conf_hist_max 4"));
+
+        let lines: Vec<&str> = text.lines().collect();
+        let mut current_family: Option<&str> = None;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let fam = rest.split(' ').next().unwrap();
+                // HELP → TYPE → samples, in that order per family.
+                assert!(
+                    lines[i + 1].starts_with(&format!("# TYPE {fam} ")),
+                    "HELP for {fam} not followed by its TYPE line"
+                );
+                current_family = Some(fam);
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let name = line.split(['{', ' ']).next().unwrap();
+                let fam = current_family.expect("sample before any HELP");
+                assert!(
+                    name == fam
+                        || name
+                            .strip_prefix(fam)
+                            .is_some_and(|s| matches!(s, "_sum" | "_count")),
+                    "sample {name} outside its family block {fam}"
+                );
+            }
+        }
+
+        // Families are sorted: exposed names appear in nondecreasing order.
+        let families: Vec<&str> = lines
+            .iter()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|l| l.split(' ').next().unwrap())
+            .collect();
+        let mut sorted = families.clone();
+        sorted.sort();
+        assert_eq!(families, sorted, "families must be emitted in sorted order");
     }
 
     #[test]

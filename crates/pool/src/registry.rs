@@ -183,6 +183,10 @@ impl Registry {
 
     fn worker_main(&'static self, index: usize) {
         WORKER_INDEX.with(|cell| cell.set(index));
+        // Pre-register this worker's span stack with the sampling profiler
+        // so profiles carry the pool thread name even if the first profiled
+        // span opens mid-run.
+        msf_obs::profile::register_current_thread();
         let mut rotor = index;
         loop {
             if let Some(job) = self.find_work(index, &mut rotor) {

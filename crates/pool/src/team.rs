@@ -56,6 +56,9 @@ fn idle_threads() -> &'static Mutex<Vec<Arc<TeamThread>>> {
 }
 
 fn team_thread_main(me: Arc<TeamThread>) {
+    // Pre-register with the sampling profiler under the team thread's name;
+    // rank spans land on this thread, so its stack must be in the registry.
+    msf_obs::profile::register_current_thread();
     loop {
         let (run, rank) = {
             let mut mailbox = me.mailbox.lock().expect("team mailbox poisoned");

@@ -136,6 +136,15 @@ impl Client {
         self.request(&Request::op(Op::Stats))
     }
 
+    /// Control the daemon's sampling profiler: `action` is `start`, `stop`,
+    /// or `fetch`; `hz` is the sample rate for `start` (0 = daemon default).
+    pub fn profile(&mut self, action: &str, hz: u32) -> io::Result<Response> {
+        let mut req = Request::op(Op::Profile);
+        req.algorithm = action.into();
+        req.threads = hz;
+        self.request(&req)
+    }
+
     /// Ask the daemon to drain and exit.
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.request(&Request::op(Op::Shutdown))

@@ -43,6 +43,10 @@ pub enum Op {
     Shutdown = 7,
     /// Liveness probe.
     Ping = 8,
+    /// Control the in-daemon sampling profiler. The action travels in the
+    /// `algorithm` field (`start`, `stop`, or `fetch`) and the sample rate
+    /// in Hz in `threads` (0 = daemon default).
+    Profile = 9,
 }
 
 impl Op {
@@ -57,6 +61,7 @@ impl Op {
             6 => Op::Stats,
             7 => Op::Shutdown,
             8 => Op::Ping,
+            9 => Op::Profile,
             _ => return None,
         })
     }
@@ -226,6 +231,20 @@ pub enum Response {
     ShuttingDown,
     /// Liveness reply.
     Pong,
+    /// Profiler state after a profile op.
+    Profile {
+        /// True when the sampler thread is running after this op.
+        running: bool,
+        /// Collapsed-stack profile (empty for `start`, the accumulated
+        /// profile for `stop`/`fetch`).
+        folded: String,
+        /// Non-empty stack samples recorded so far.
+        samples: u64,
+        /// Samples dropped to torn reads.
+        dropped: u64,
+        /// Sampler wakeups.
+        wakeups: u64,
+    },
 }
 
 const R_ERROR: u8 = 0;
@@ -238,6 +257,7 @@ const R_EVICTED: u8 = 6;
 const R_STATS: u8 = 7;
 const R_SHUTDOWN: u8 = 8;
 const R_PONG: u8 = 9;
+const R_PROFILE: u8 = 10;
 
 impl Response {
     /// Serialize to a frame payload.
@@ -305,6 +325,20 @@ impl Response {
             }
             Response::ShuttingDown => out.push(R_SHUTDOWN),
             Response::Pong => out.push(R_PONG),
+            Response::Profile {
+                running,
+                folded,
+                samples,
+                dropped,
+                wakeups,
+            } => {
+                out.push(R_PROFILE);
+                out.push(*running as u8);
+                put_str(&mut out, folded);
+                out.extend_from_slice(&samples.to_le_bytes());
+                out.extend_from_slice(&dropped.to_le_bytes());
+                out.extend_from_slice(&wakeups.to_le_bytes());
+            }
         }
         out
     }
@@ -360,6 +394,13 @@ impl Response {
             R_STATS => Response::Stats { text: c.string()? },
             R_SHUTDOWN => Response::ShuttingDown,
             R_PONG => Response::Pong,
+            R_PROFILE => Response::Profile {
+                running: c.u8()? != 0,
+                folded: c.string()?,
+                samples: c.u64()?,
+                dropped: c.u64()?,
+                wakeups: c.u64()?,
+            },
             _ => return Err(bad_data(format!("unknown response tag {tag}"))),
         };
         c.finish()?;
@@ -516,6 +557,16 @@ mod tests {
         for op in [Op::Stats, Op::Shutdown, Op::Ping, Op::Evict, Op::Info] {
             round_trip_request(Request::op(op));
         }
+        // Profile ops carry the action in `algorithm` and the rate in
+        // `threads`.
+        round_trip_request(Request {
+            op: Op::Profile,
+            graph: String::new(),
+            algorithm: "start".into(),
+            threads: 997,
+            flags: 0,
+            path: String::new(),
+        });
     }
 
     #[test]
@@ -565,6 +616,13 @@ mod tests {
         });
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Pong);
+        round_trip_response(Response::Profile {
+            running: true,
+            folded: "serve;run;find-min 42\n".into(),
+            samples: 42,
+            dropped: 1,
+            wakeups: 100,
+        });
     }
 
     #[test]

@@ -43,6 +43,7 @@ static ERRORS: LazyCounter = LazyCounter::new("serve.errors");
 static HARD_FAILURES: LazyCounter = LazyCounter::new("serve.hard_failures");
 static CONNECTIONS: LazyCounter = LazyCounter::new("serve.connections");
 static COMPUTE_NS: LazyHistogram = LazyHistogram::new("serve.compute_ns");
+static SLOW_REQUESTS: LazyCounter = LazyCounter::new("serve.slow_requests");
 
 /// The cache key prefix for first-round Borůvka intermediates. Valid for
 /// every algorithm: under the `(weight, id)` total order the round's hooks
@@ -93,6 +94,10 @@ pub struct ServerConfig {
     /// Re-certify every served forest before replying, regardless of the
     /// request's flags.
     pub paranoid: bool,
+    /// Slow-request threshold: requests taking longer than this get their
+    /// sampled stacks (when the profiler is running) and metrics deltas
+    /// dumped to stderr with the request id. `None` disables the log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +109,7 @@ impl Default for ServerConfig {
             registry_bytes: u64::MAX,
             admission: AdmissionConfig::default(),
             paranoid: false,
+            slow_ms: None,
         }
     }
 }
@@ -118,6 +124,7 @@ pub struct Server {
     batcher: Batcher,
     shutdown: AtomicBool,
     hard_failures: AtomicU64,
+    next_request: AtomicU64,
 }
 
 impl Server {
@@ -129,6 +136,7 @@ impl Server {
             batcher: Batcher::new(),
             shutdown: AtomicBool::new(false),
             hard_failures: AtomicU64::new(0),
+            next_request: AtomicU64::new(0),
             cfg,
         }
     }
@@ -157,16 +165,89 @@ impl Server {
     /// the connection loop, not here.
     pub fn handle(&self, req: &Request) -> Response {
         REQUESTS.inc();
-        let units_hint = 0; // filled per-op below where a graph is known
-        let span = obs::span(SpanKind::Serve, req.op as u64, units_hint);
+        let req_id = self.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+        // The serve span's begin `a` is the request id: the sampling
+        // profiler keys per-request sample attribution on it (the id rides
+        // in the stack frame's tag bits), so a slow request's sampled
+        // stacks can be pulled out by id after the span closes.
+        let span = obs::span(SpanKind::Serve, req_id, req.op as u64);
+        let slow_ms = self.cfg.slow_ms;
+        let metrics_before = slow_ms
+            .filter(|_| obs::metrics::enabled())
+            .map(|_| obs::metrics::snapshot());
         let start = Instant::now();
         let resp = self.dispatch(req);
         let ok = !matches!(resp, Response::Error { .. });
         if !ok {
             ERRORS.inc();
         }
-        span.end_with(ok as u64, start.elapsed().as_nanos() as u64);
+        let wall = start.elapsed();
+        span.end_with(ok as u64, wall.as_nanos() as u64);
+        if let Some(limit) = slow_ms {
+            if wall.as_millis() as u64 > limit {
+                SLOW_REQUESTS.inc();
+                self.log_slow_request(req, req_id, wall, metrics_before.as_ref());
+            } else {
+                // Keep the profiler's per-request retention bounded: fast
+                // requests discard their sampled stacks immediately.
+                let _ = obs::profile::take_request(req_id);
+            }
+        }
         resp
+    }
+
+    /// Dump one slow request to stderr: id, op, wall time, the profiler's
+    /// sampled stacks for the request (when the sampler is running), and
+    /// the counters that moved while it ran.
+    fn log_slow_request(
+        &self,
+        req: &Request,
+        req_id: u64,
+        wall: Duration,
+        before: Option<&obs::metrics::MetricsSnapshot>,
+    ) {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "msf-serve: slow request #{req_id}: op {:?} graph '{}' took {:.1}ms (limit {}ms)",
+            req.op,
+            req.graph,
+            wall.as_secs_f64() * 1e3,
+            self.cfg.slow_ms.unwrap_or(0)
+        );
+        match obs::profile::take_request(req_id) {
+            Some(paths) => {
+                let _ = writeln!(out, "  sampled stacks:");
+                for line in obs::profile::render_folded(&paths).lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  sampled stacks: none (profiler not running or no samples landed)"
+                );
+            }
+        }
+        if let Some(before) = before {
+            let after = obs::metrics::snapshot();
+            let mut any = false;
+            for (name, v) in &after.counters {
+                let was = before.counter(name).unwrap_or(0);
+                if *v > was {
+                    if !any {
+                        let _ = writeln!(out, "  counter deltas:");
+                        any = true;
+                    }
+                    let _ = writeln!(out, "    {name} +{}", v - was);
+                }
+            }
+            if !any {
+                let _ = writeln!(out, "  counter deltas: none");
+            }
+        }
+        eprint!("{out}");
     }
 
     fn dispatch(&self, req: &Request) -> Response {
@@ -215,6 +296,52 @@ impl Server {
             },
             Op::Compute => self.compute(req, false),
             Op::Certify => self.compute(req, true),
+            Op::Profile => {
+                // The action rides in `algorithm`, the rate in `threads`
+                // (0 = a default gentle enough to leave running).
+                let hz = if req.threads == 0 {
+                    97
+                } else {
+                    req.threads as u64
+                };
+                match req.algorithm.as_str() {
+                    "start" => match obs::profile::start(hz) {
+                        Ok(()) => Response::Profile {
+                            running: true,
+                            folded: String::new(),
+                            samples: 0,
+                            dropped: 0,
+                            wakeups: 0,
+                        },
+                        Err(message) => Response::Error { message },
+                    },
+                    "stop" => {
+                        let report = obs::profile::stop();
+                        Response::Profile {
+                            running: false,
+                            folded: report.folded(),
+                            samples: report.samples,
+                            dropped: report.dropped,
+                            wakeups: report.wakeups,
+                        }
+                    }
+                    "fetch" => {
+                        let report = obs::profile::snapshot_report();
+                        Response::Profile {
+                            running: obs::profile::is_running(),
+                            folded: report.folded(),
+                            samples: report.samples,
+                            dropped: report.dropped,
+                            wakeups: report.wakeups,
+                        }
+                    }
+                    other => Response::Error {
+                        message: format!(
+                            "unknown profile action '{other}' (expected start, stop, or fetch)"
+                        ),
+                    },
+                }
+            }
         }
     }
 

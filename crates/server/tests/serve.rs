@@ -126,9 +126,9 @@ fn eight_concurrent_clients_get_the_offline_forest_bit_for_bit() {
     };
     let hits: u64 = text
         .lines()
-        .find_map(|l| l.strip_prefix("serve_cache_round_hits "))
+        .find_map(|l| l.strip_prefix("serve_cache_round_hits_total "))
         .and_then(|v| v.trim().parse().ok())
-        .expect("scrape carries serve_cache_round_hits");
+        .expect("scrape carries serve_cache_round_hits_total");
     assert!(
         hits > 0,
         "24 computes of one resident graph must hit the round cache"
@@ -327,4 +327,106 @@ fn requests_round_trip_over_tcp_too() {
         }
         other => panic!("unexpected reply: {other:?}"),
     }
+}
+
+#[test]
+fn profile_op_round_trips_and_slow_requests_are_counted() {
+    // A graph big enough that certify requests reliably exceed the 0 ms
+    // slow threshold, so the slow-request path runs without fault hooks.
+    let g = random_graph(&GeneratorConfig::with_seed(5), 20_000, 80_000);
+    let path = temp_path("profile.gr");
+    write_graph(&path, &g);
+    let cfg = ServerConfig {
+        slow_ms: Some(0),
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = start_daemon(
+        "profile",
+        cfg,
+        vec![("g".into(), path.display().to_string())],
+    );
+
+    let mut c = Client::connect(&addr).expect("connect");
+    match c.profile("start", 997).expect("profile start") {
+        Response::Profile { running, .. } => assert!(running, "start leaves the sampler running"),
+        other => panic!("unexpected start reply: {other:?}"),
+    }
+    // A second start must refuse in-band, not kill the daemon.
+    match c.profile("start", 997).expect("second start") {
+        Response::Error { message } => assert!(message.contains("already running"), "{message}"),
+        other => panic!("unexpected second-start reply: {other:?}"),
+    }
+    match c.profile("bogus", 0).expect("bad action") {
+        Response::Error { message } => assert!(message.contains("bogus"), "{message}"),
+        other => panic!("unexpected bad-action reply: {other:?}"),
+    }
+
+    for _ in 0..3 {
+        match c.certify("g", "", 0).expect("certify") {
+            Response::Certified(_) => {}
+            other => panic!("unexpected certify reply: {other:?}"),
+        }
+    }
+
+    match c.profile("fetch", 0).expect("fetch") {
+        Response::Profile { running, .. } => assert!(running, "fetch must not stop the sampler"),
+        other => panic!("unexpected fetch reply: {other:?}"),
+    }
+    match c.profile("stop", 0).expect("stop") {
+        Response::Profile {
+            running,
+            folded,
+            samples,
+            ..
+        } => {
+            assert!(!running, "stop halts the sampler");
+            // Sampling is statistical — only check structure when samples
+            // actually landed: every folded line is `frame;frame... count`
+            // and every frame is a known span-kind name. Connection threads
+            // root at `serve`; the batcher and pool threads actually running
+            // the computes root at `run`.
+            if samples > 0 && !folded.is_empty() {
+                let known = [
+                    "run",
+                    "setup",
+                    "iteration",
+                    "find-min",
+                    "connect-components",
+                    "compact-graph",
+                    "base-case",
+                    "team-run",
+                    "rank",
+                    "filter",
+                    "serve",
+                ];
+                for line in folded.lines() {
+                    let (stack, count) = line.rsplit_once(' ').expect("folded line shape");
+                    assert!(count.parse::<u64>().is_ok(), "weight parses: {line}");
+                    for frame in stack.split(';') {
+                        assert!(known.contains(&frame), "unknown frame {frame} in {line}");
+                    }
+                }
+            }
+        }
+        other => panic!("unexpected stop reply: {other:?}"),
+    }
+
+    // The 0 ms threshold makes every certify a slow request; the counter
+    // must have moved (the stderr dump itself is exercised in CI).
+    let text = match c.stats().expect("stats") {
+        Response::Stats { text } => text,
+        other => panic!("unexpected stats reply: {other:?}"),
+    };
+    let slow: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("serve_slow_requests_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("scrape carries serve_slow_requests_total");
+    assert!(
+        slow > 0,
+        "certifies over a 0ms threshold must count as slow"
+    );
+
+    assert_eq!(shutdown(&addr, handle), 0, "no hard failures");
+    let _ = std::fs::remove_file(&path);
 }

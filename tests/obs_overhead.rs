@@ -207,6 +207,54 @@ fn disabled_cas_retry_counters_stay_under_the_one_percent_guard() {
 }
 
 #[test]
+fn disabled_profiler_cost_is_under_one_percent_of_the_workload() {
+    let _l = lock();
+    msf_pool::force_width(4);
+    let g = mesh();
+    assert!(
+        !obs::profile::is_running(),
+        "this guard measures the profiler's DISABLED path"
+    );
+
+    // How many profiler gate checks would this workload make? Exactly one
+    // per span begin (the pop side is flag-guarded, not gate-guarded), so
+    // the traced event count / 2 is the check volume.
+    obs::set_enabled(true);
+    let _ = obs::drain();
+    let _ = workload(&g);
+    let checks = obs::drain().events.len() as f64 / 2.0;
+    obs::set_enabled(false);
+    assert!(checks > 0.0);
+
+    // Per-span cost with tracing AND profiling both disabled — the loop
+    // below pays both gates, so the measurement is an upper bound on the
+    // profiler's share.
+    const CALLS: u64 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..CALLS {
+        obs::span(obs::SpanKind::FindMin, i, 0).end_with(i, i);
+    }
+    let per_span = t.elapsed().as_nanos() as f64 / CALLS as f64;
+
+    let mut walls: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = workload(&g);
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let baseline = walls[1];
+
+    let tax = per_span * checks;
+    assert!(
+        tax < baseline * 0.01,
+        "disabled profiler gate would cost {tax:.0} ns against a {baseline:.0} ns \
+         workload ({checks} checks, {per_span:.1} ns/span) — over the 1% budget"
+    );
+}
+
+#[test]
 fn disabled_instrumentation_cost_is_under_one_percent_of_the_workload() {
     let _l = lock();
     msf_pool::force_width(4);
